@@ -1,0 +1,59 @@
+// Experiment A3: PageRank as a forever-query (Example 3.3 variant).
+// Sweeps graph size for both evaluation strategies: exact state-space
+// analysis (states = graph nodes, since the cursor is a single tuple) and
+// MCMC sampling. Reports the rank of the best-connected node.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "eval/noninflationary.h"
+#include "gadgets/graphs.h"
+
+using namespace pfql;
+using namespace pfql::bench;
+
+int main() {
+  std::printf(
+      "A3: PageRank forever-query (alpha = 0.15), random digraphs\n\n");
+  PrintRow({"nodes", "edges", "exact_ms", "states", "mcmc_ms", "exact_r0",
+            "mcmc_r0"});
+
+  for (int64_t n : {4, 8, 16}) {
+    Rng g_rng(17);
+    gadgets::Graph g = gadgets::RandomDigraph(n, 3.0 / n, &g_rng);
+    auto wq = gadgets::PageRankQuery(g, 0, 0.15);
+    if (!wq.ok()) return 1;
+    ForeverQuery query{wq->kernel, gadgets::WalkAtNode(0)};
+
+    eval::ExactForeverResult exact;
+    double exact_ms = TimeMs([&] {
+      auto r = eval::ExactForever(query, wq->initial);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        std::exit(1);
+      }
+      exact = *r;
+    });
+
+    eval::McmcParams params;
+    params.burn_in = 48;  // PageRank chains mix fast (jump probability).
+    params.epsilon = 0.03;
+    params.delta = 0.05;
+    Rng rng(5);
+    eval::McmcResult mcmc;
+    double mcmc_ms = TimeMs([&] {
+      auto r = eval::McmcForever(query, wq->initial, params, &rng);
+      if (!r.ok()) std::exit(1);
+      mcmc = *r;
+    });
+
+    PrintRow({FmtInt(n), FmtInt(g.edges.size()), Fmt(exact_ms),
+              FmtInt(exact.num_states), Fmt(mcmc_ms),
+              Fmt(exact.probability.ToDouble(), 4), Fmt(mcmc.estimate, 4)});
+  }
+
+  std::printf(
+      "\nShape check: exact cost tracks the state count (here linear in "
+      "nodes since the walk state is one tuple); MCMC cost is flat in n at "
+      "fixed burn-in, and both estimates agree.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Experiment A4: relational-substrate microbenchmarks — the operator
+// kernels every query evaluation is built from.
+#include <benchmark/benchmark.h>
+
+#include "relational/algebra.h"
+#include "relational/instance.h"
+#include "util/random.h"
+
+namespace pfql {
+namespace {
+
+Relation RandomBinary(size_t rows, size_t domain, uint64_t seed) {
+  Rng rng(seed);
+  Relation r(Schema({"i", "j"}));
+  while (r.size() < rows) {
+    r.Insert(Tuple{Value(static_cast<int64_t>(rng.NextIndex(domain))),
+                   Value(static_cast<int64_t>(rng.NextIndex(domain)))});
+  }
+  return r;
+}
+
+void BM_Insert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    Relation r(Schema({"i", "j"}));
+    for (size_t k = 0; k < n; ++k) {
+      r.Insert(Tuple{Value(static_cast<int64_t>(rng.NextIndex(1 << 20))),
+                     Value(static_cast<int64_t>(k))});
+    }
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Insert)->Range(64, 16384);
+
+void BM_NaturalJoin(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Relation a = RandomBinary(n, n / 4 + 4, 1);
+  auto renamed = RenameColumns(RandomBinary(n, n / 4 + 4, 2),
+                               {{"i", "j"}, {"j", "k"}});
+  if (!renamed.ok()) return;
+  for (auto _ : state) {
+    auto joined = NaturalJoin(a, *renamed);
+    if (!joined.ok()) state.SkipWithError("join failed");
+    benchmark::DoNotOptimize(joined);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NaturalJoin)->Range(64, 8192);
+
+void BM_Select(benchmark::State& state) {
+  Relation r = RandomBinary(static_cast<size_t>(state.range(0)), 1024, 5);
+  auto pred = Predicate::Cmp(CmpOp::kLt, ScalarExpr::Column("i"),
+                             ScalarExpr::Const(Value(512)));
+  for (auto _ : state) {
+    auto out = Select(r, pred);
+    if (!out.ok()) state.SkipWithError("select failed");
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Select)->Range(64, 16384);
+
+void BM_Project(benchmark::State& state) {
+  Relation r = RandomBinary(static_cast<size_t>(state.range(0)), 64, 6);
+  for (auto _ : state) {
+    auto out = Project(r, {"j"});
+    if (!out.ok()) state.SkipWithError("project failed");
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Project)->Range(64, 16384);
+
+void BM_UnionDifference(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Relation a = RandomBinary(n, n, 7), b = RandomBinary(n, n, 8);
+  for (auto _ : state) {
+    auto u = Union(a, b);
+    auto d = Difference(a, b);
+    if (!u.ok() || !d.ok()) state.SkipWithError("set op failed");
+    benchmark::DoNotOptimize(u);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_UnionDifference)->Range(64, 16384);
+
+void BM_InstanceHash(benchmark::State& state) {
+  Instance db;
+  db.Set("r", RandomBinary(static_cast<size_t>(state.range(0)), 256, 9));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db.Hash());
+  }
+}
+BENCHMARK(BM_InstanceHash)->Range(64, 16384);
+
+}  // namespace
+}  // namespace pfql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Experiment T2 (the paper's Table 2 workload): repair-key over
+// belief-weighted relations. Micro-benchmarks exact world enumeration
+// (exponential in the number of key groups) and single-world sampling
+// (linear), on basketball-style tables with a (#keys x #alternatives) sweep.
+#include <benchmark/benchmark.h>
+
+#include "prob/repair_key.h"
+
+namespace pfql {
+namespace {
+
+Relation MakeTable(int64_t keys, int64_t alternatives) {
+  Relation r(Schema({"player", "team", "belief"}));
+  for (int64_t k = 0; k < keys; ++k) {
+    for (int64_t a = 0; a < alternatives; ++a) {
+      r.Insert(Tuple{Value(k), Value(1000 + a), Value(a + 1)});
+    }
+  }
+  return r;
+}
+
+RepairKeySpec Spec() {
+  RepairKeySpec spec;
+  spec.key_columns = {"player"};
+  spec.weight_column = "belief";
+  return spec;
+}
+
+void BM_RepairKeyEnumerate(benchmark::State& state) {
+  Relation r = MakeTable(state.range(0), state.range(1));
+  RepairKeySpec spec = Spec();
+  uint64_t worlds = 0;
+  for (auto _ : state) {
+    auto dist = RepairKeyEnumerate(r, spec);
+    if (!dist.ok()) state.SkipWithError("enumeration failed");
+    worlds = dist->size();
+    benchmark::DoNotOptimize(dist);
+  }
+  state.counters["worlds"] = static_cast<double>(worlds);
+}
+BENCHMARK(BM_RepairKeyEnumerate)
+    ->ArgsProduct({{1, 2, 4, 8}, {2, 3}})
+    ->ArgNames({"keys", "alts"});
+
+void BM_RepairKeySample(benchmark::State& state) {
+  Relation r = MakeTable(state.range(0), state.range(1));
+  RepairKeySpec spec = Spec();
+  Rng rng(1);
+  for (auto _ : state) {
+    auto world = RepairKeySample(r, spec, &rng);
+    if (!world.ok()) state.SkipWithError("sampling failed");
+    benchmark::DoNotOptimize(world);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RepairKeySample)
+    ->ArgsProduct({{1, 8, 64, 512}, {2, 4, 8}})
+    ->ArgNames({"keys", "alts"});
+
+void BM_RepairKeyGroups(benchmark::State& state) {
+  Relation r = MakeTable(state.range(0), 4);
+  RepairKeySpec spec = Spec();
+  for (auto _ : state) {
+    auto groups = RepairKeyGroups(r, spec);
+    if (!groups.ok()) state.SkipWithError("grouping failed");
+    benchmark::DoNotOptimize(groups);
+  }
+}
+BENCHMARK(BM_RepairKeyGroups)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace pfql
+
+BENCHMARK_MAIN();

@@ -1,0 +1,42 @@
+// Shared helpers for the experiment harnesses: wall-clock timing and
+// aligned table output. The experiment benches print tables whose *shape*
+// reproduces the corresponding row of the paper's Table 1 (see
+// EXPERIMENTS.md); micro-benches use google-benchmark instead.
+#ifndef PFQL_BENCH_BENCH_UTIL_H_
+#define PFQL_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pfql {
+namespace bench {
+
+/// Milliseconds spent in fn().
+template <typename F>
+double TimeMs(F&& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/// Prints one aligned table row; widths per column.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(uint64_t v) { return std::to_string(v); }
+
+}  // namespace bench
+}  // namespace pfql
+
+#endif  // PFQL_BENCH_BENCH_UTIL_H_

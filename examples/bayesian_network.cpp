@@ -1,0 +1,83 @@
+// Example 3.10: Bayesian inference in probabilistic datalog.
+//
+// Encodes the classic sprinkler network in the paper's s<k>/t<k> relations,
+// evaluates joint marginals with the exact engine (Prop 4.4) and the
+// sampling engine (Thm 4.3), and compares against brute-force enumeration.
+#include <cstdio>
+
+#include "eval/inflationary.h"
+#include "gadgets/bayes.h"
+
+using namespace pfql;
+
+int main() {
+  gadgets::BayesNet net = gadgets::SprinklerNet();
+  std::printf("Sprinkler network (Example 3.10 encoding):\n");
+  for (const auto& node : net.nodes) {
+    std::printf("  %-10s parents:", node.name.c_str());
+    if (node.parents.empty()) std::printf(" (none)");
+    for (size_t p : node.parents) std::printf(" %s", net.nodes[p].name.c_str());
+    std::printf("\n");
+  }
+
+  struct QuerySpec {
+    const char* label;
+    std::vector<std::pair<size_t, bool>> query;
+  };
+  const std::vector<QuerySpec> queries = {
+      {"Pr[wet]", {{3, true}}},
+      {"Pr[rain]", {{2, true}}},
+      {"Pr[wet & rain]", {{3, true}, {2, true}}},
+      {"Pr[wet & !rain]", {{3, true}, {2, false}}},
+      {"Pr[sprinkler & cloudy]", {{1, true}, {0, true}}},
+  };
+
+  std::printf("\n%-24s %-16s %-10s %-10s\n", "query", "exact (datalog)",
+              "sampled", "truth");
+  for (const auto& q : queries) {
+    auto gadget = gadgets::BayesMarginalProgram(net, q.query);
+    if (!gadget.ok()) {
+      std::fprintf(stderr, "%s\n", gadget.status().ToString().c_str());
+      return 1;
+    }
+    auto exact = eval::ExactInflationary(gadget->program, gadget->edb,
+                                         gadget->event);
+    if (!exact.ok()) {
+      std::fprintf(stderr, "%s\n", exact.status().ToString().c_str());
+      return 1;
+    }
+    eval::ApproxParams params;
+    params.epsilon = 0.02;
+    params.delta = 0.01;
+    Rng rng(5);
+    auto approx = eval::ApproxInflationary(gadget->program, gadget->edb,
+                                           gadget->event, params, &rng);
+    if (!approx.ok()) {
+      std::fprintf(stderr, "%s\n", approx.status().ToString().c_str());
+      return 1;
+    }
+    auto truth = net.ExactMarginal(q.query);
+    if (!truth.ok()) return 1;
+    std::printf("%-24s %-16s %-10.4f %-10.4f\n", q.label,
+                exact->ToString().c_str(), approx->estimate,
+                truth->ToDouble());
+  }
+
+  // A bigger chain network evaluated by sampling only.
+  gadgets::BayesNet chain = gadgets::ChainBayesNet(12);
+  auto gadget = gadgets::BayesMarginalProgram(chain, {{11, true}});
+  if (!gadget.ok()) return 1;
+  eval::ApproxParams params;
+  params.epsilon = 0.01;
+  params.delta = 0.01;
+  Rng rng(6);
+  auto approx = eval::ApproxInflationary(gadget->program, gadget->edb,
+                                         gadget->event, params, &rng);
+  auto truth = chain.ExactMarginal({{11, true}});
+  if (!approx.ok() || !truth.ok()) return 1;
+  std::printf(
+      "\n12-node chain: sampled Pr[x11] = %.4f over %zu samples "
+      "(truth %.4f)\n",
+      approx->estimate, approx->samples, truth->ToDouble());
+  return 0;
+}

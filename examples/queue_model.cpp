@@ -1,0 +1,127 @@
+// A stochastic-process model (the paper's intro: "declaratively specify
+// (queries over) Markov Chains, random walks and stochastic processes"):
+// a discrete-time single-server queue with capacity C, arrival probability
+// lambda and service probability mu per slot, expressed as a forever-query
+// over a database holding the current queue length.
+//
+// The transition relation step(n, n', w) is plain data; the kernel is one
+// repair-key line:   len := π_next(repair-key_n@w(len ⋈ step)).
+// We compute the exact stationary queue-length distribution, the expected
+// length, and Pr[queue full] — and cross-check with the closed-form
+// birth-death solution pi_n ∝ (lambda(1-mu) / (mu(1-lambda)))^n.
+#include <cstdio>
+
+#include "eval/noninflationary.h"
+#include "eval/trajectory.h"
+
+using namespace pfql;
+
+namespace {
+
+// Integer-weighted birth-death transitions for per-slot arrival prob a/D
+// and service prob s/D (D a common denominator) — exact rationals all the
+// way through.
+Instance QueueModel(int64_t capacity, int64_t a, int64_t s, int64_t d) {
+  Instance db;
+  Relation step(Schema({"n", "next", "w"}));
+  for (int64_t n = 0; n <= capacity; ++n) {
+    // Weights out of D^2: arrival & no service, service & no arrival,
+    // both-or-neither (length unchanged). Boundary states clamp.
+    int64_t up = a * (d - s);
+    int64_t down = s * (d - a);
+    int64_t stay = d * d - up - down;
+    if (n == 0) {
+      stay += down;
+      down = 0;
+    }
+    if (n == capacity) {
+      stay += up;
+      up = 0;
+    }
+    if (up > 0) step.Insert(Tuple{Value(n), Value(n + 1), Value(up)});
+    if (down > 0) step.Insert(Tuple{Value(n), Value(n - 1), Value(down)});
+    if (stay > 0) step.Insert(Tuple{Value(n), Value(n), Value(stay)});
+  }
+  db.Set("step", std::move(step));
+  Relation len(Schema({"n"}));
+  len.Insert(Tuple{Value(int64_t{0})});
+  db.Set("len", std::move(len));
+  return db;
+}
+
+Interpretation QueueKernel() {
+  RepairKeySpec spec;
+  spec.key_columns = {"n"};
+  spec.weight_column = "w";
+  Interpretation q;
+  q.Define("len", RaExpr::Rename(
+                      RaExpr::Project(
+                          RaExpr::RepairKey(RaExpr::Join(RaExpr::Base("len"),
+                                                         RaExpr::Base("step")),
+                                            spec),
+                          {"next"}),
+                      {{"next", "n"}}));
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  const int64_t capacity = 8;
+  const int64_t a = 3, s = 4, d = 10;  // lambda = 0.3, mu = 0.4 per slot
+  Instance initial = QueueModel(capacity, a, s, d);
+  Interpretation kernel = QueueKernel();
+
+  std::printf(
+      "Discrete-time queue, capacity %lld, lambda = %.1f, mu = %.1f\n\n",
+      static_cast<long long>(capacity), a / static_cast<double>(d),
+      s / static_cast<double>(d));
+
+  // rho = up/down = a(d-s) / (s(d-a)).
+  const double rho = static_cast<double>(a * (d - s)) /
+                     static_cast<double>(s * (d - a));
+  double norm = 0.0, rho_pow = 1.0;
+  for (int64_t n = 0; n <= capacity; ++n) {
+    norm += rho_pow;
+    rho_pow *= rho;
+  }
+
+  std::printf("%-6s %-14s %-12s %-12s\n", "n", "exact pi_n", "(double)",
+              "closed form");
+  BigRational expected_len;
+  rho_pow = 1.0;
+  for (int64_t n = 0; n <= capacity; ++n) {
+    QueryEvent at_n{"len", Tuple{Value(n)}};
+    auto result = eval::ExactForever({kernel, at_n}, initial);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-6lld %-14s %-12.6f %-12.6f\n", static_cast<long long>(n),
+                result->probability.ToString().c_str(),
+                result->probability.ToDouble(), rho_pow / norm);
+    expected_len += result->probability * BigRational(n);
+    rho_pow *= rho;
+  }
+  std::printf("\nE[queue length] = %s = %.4f\n",
+              expected_len.ToString().c_str(), expected_len.ToDouble());
+
+  // Time-average fidelity check (Def 3.2's literal semantics).
+  QueryEvent full{"len", Tuple{Value(capacity)}};
+  eval::TrajectoryParams params;
+  params.steps = 20000;
+  params.runs = 4;
+  Rng rng(2);
+  auto traj = eval::TimeAverageEstimate({kernel, full}, initial, params,
+                                        &rng);
+  auto exact_full = eval::ExactForever({kernel, full}, initial);
+  if (traj.ok() && exact_full.ok()) {
+    std::printf(
+        "Pr[queue full]: exact = %s (%.6f), time-average over %zu steps = "
+        "%.6f\n",
+        exact_full->probability.ToString().c_str(),
+        exact_full->probability.ToDouble(), traj->total_steps,
+        traj->estimate);
+  }
+  return 0;
+}

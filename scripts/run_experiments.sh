@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md: builds, runs the full test
+# suite, then every benchmark harness, teeing outputs next to the repo root.
+set -u
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja && cmake --build build || exit 1
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "==================== $(basename "$b")"
+  "$b"
+done 2>&1 | tee bench_output.txt

@@ -1,0 +1,34 @@
+// Compilation of rule bodies to relational algebra. A rule body (a
+// conjunction of relational atoms plus builtin comparisons) compiles to an
+// RaExpr producing the rule's *valuation relation*: one column per distinct
+// body variable, one row per satisfying assignment. Shared by the
+// inflationary engine (Sec 3.3) and the datalog→interpretation translators.
+#ifndef PFQL_DATALOG_BODY_EVAL_H_
+#define PFQL_DATALOG_BODY_EVAL_H_
+
+#include <map>
+
+#include "datalog/ast.h"
+#include "ra/ra_expr.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace datalog {
+
+/// Compiles `rule`'s body to an RaExpr whose output schema is exactly
+/// rule.BodyVariables() (in first-occurrence order). `schemas` must map
+/// every body predicate to its schema in the evaluation instance. A rule
+/// with an empty body compiles to the constant 0-ary relation containing
+/// the empty tuple (the paper's "single empty valuation").
+StatusOr<RaExpr::Ptr> CompileBody(const Rule& rule,
+                                  const std::map<std::string, Schema>& schemas);
+
+/// Builds the head tuple for one body valuation. `binding_schema` is the
+/// schema of the valuation row (variable names as columns).
+StatusOr<Tuple> BuildHeadTuple(const Head& head, const Schema& binding_schema,
+                               const Tuple& binding);
+
+}  // namespace datalog
+}  // namespace pfql
+
+#endif  // PFQL_DATALOG_BODY_EVAL_H_

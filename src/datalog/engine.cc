@@ -1,0 +1,316 @@
+#include "datalog/engine.h"
+
+#include <functional>
+
+#include "datalog/body_eval.h"
+#include "ra/optimizer.h"
+
+namespace pfql {
+namespace datalog {
+
+namespace {
+
+// Evaluates a repair-key-free expression (rule bodies never contain
+// repair-key, so the "sample" path is deterministic).
+StatusOr<Relation> EvalBody(const RaExpr::Ptr& expr, const Instance& db) {
+  Rng unused(0);
+  return EvalSample(expr, db, &unused);
+}
+
+// The projection columns π_{X̄,Ȳ,P} of the paper's step: head variables in
+// first-occurrence order, then the weight variable if not already present.
+std::vector<std::string> ProjectionColumns(const Rule& rule) {
+  std::vector<std::string> cols = rule.HeadVariables();
+  if (rule.head.weight_var &&
+      std::find(cols.begin(), cols.end(), *rule.head.weight_var) ==
+          cols.end()) {
+    cols.push_back(*rule.head.weight_var);
+  }
+  return cols;
+}
+
+RepairKeySpec SpecFor(const Rule& rule) {
+  RepairKeySpec spec;
+  spec.key_columns = rule.KeyVariables();
+  spec.weight_column = rule.head.weight_var;
+  return spec;
+}
+
+// Compiled per-rule data shared by both evaluators.
+struct CompiledProgram {
+  Program program;
+  std::vector<RaExpr::Ptr> body_exprs;
+  std::vector<std::vector<std::string>> proj_cols;
+  std::vector<RepairKeySpec> specs;
+  std::vector<Schema> proj_schemas;
+
+  static StatusOr<CompiledProgram> Make(Program program,
+                                        const Instance& initial) {
+    CompiledProgram cp;
+    std::map<std::string, Schema> schemas;
+    for (const auto& [name, rel] : initial.relations()) {
+      schemas.emplace(name, rel.schema());
+    }
+    for (const auto& rule : program.rules()) {
+      PFQL_ASSIGN_OR_RETURN(RaExpr::Ptr body, CompileBody(rule, schemas));
+      cp.body_exprs.push_back(Optimize(body, schemas));
+      cp.proj_cols.push_back(ProjectionColumns(rule));
+      cp.specs.push_back(SpecFor(rule));
+      cp.proj_schemas.emplace_back(cp.proj_cols.back());
+    }
+    cp.program = std::move(program);
+    return cp;
+  }
+};
+
+// Adds the head tuples for the chosen bindings of rule `r` to `db`.
+Status AddHeadTuples(const CompiledProgram& cp, size_t r,
+                     const std::vector<Tuple>& bindings, Instance* db) {
+  const Rule& rule = cp.program.rules()[r];
+  Relation* rel = db->FindMutable(rule.head.predicate);
+  if (rel == nullptr) {
+    return Status::Internal("head relation '" + rule.head.predicate +
+                            "' missing from instance");
+  }
+  for (const Tuple& binding : bindings) {
+    PFQL_ASSIGN_OR_RETURN(
+        Tuple head_tuple,
+        BuildHeadTuple(rule.head, cp.proj_schemas[r], binding));
+    rel->Insert(std::move(head_tuple));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<InflationaryEngine> InflationaryEngine::Make(Program program,
+                                                      const Instance& edb) {
+  InflationaryEngine engine;
+  PFQL_ASSIGN_OR_RETURN(engine.db_, program.InitialInstance(edb));
+  std::map<std::string, Schema> schemas;
+  for (const auto& [name, rel] : engine.db_.relations()) {
+    schemas.emplace(name, rel.schema());
+  }
+  for (const auto& rule : program.rules()) {
+    PFQL_ASSIGN_OR_RETURN(RaExpr::Ptr body, CompileBody(rule, schemas));
+    engine.body_exprs_.push_back(Optimize(body, schemas));
+    engine.old_vals_.emplace_back(Schema(rule.BodyVariables()));
+  }
+  engine.program_ = std::move(program);
+  return engine;
+}
+
+StatusOr<bool> InflationaryEngine::SampleStep(Rng* rng) {
+  const auto& rules = program_.rules();
+  // Phase 1: evaluate all bodies against the *old* state.
+  std::vector<Relation> new_vals;
+  new_vals.reserve(rules.size());
+  bool any_new = false;
+  for (size_t r = 0; r < rules.size(); ++r) {
+    PFQL_ASSIGN_OR_RETURN(Relation vals, EvalBody(body_exprs_[r], db_));
+    PFQL_ASSIGN_OR_RETURN(Relation fresh, vals.DifferenceWith(old_vals_[r]));
+    if (!fresh.empty()) any_new = true;
+    new_vals.push_back(std::move(fresh));
+  }
+  if (!any_new) return false;
+
+  // Phase 2: update oldVals and fire the rules.
+  for (size_t r = 0; r < rules.size(); ++r) {
+    if (new_vals[r].empty()) continue;
+    PFQL_ASSIGN_OR_RETURN(old_vals_[r],
+                          old_vals_[r].UnionWith(new_vals[r]));
+    const Rule& rule = rules[r];
+    std::vector<std::string> cols = ProjectionColumns(rule);
+    PFQL_ASSIGN_OR_RETURN(Relation proj, Project(new_vals[r], cols));
+    std::vector<Tuple> chosen;
+    if (rule.head.IsProbabilistic()) {
+      PFQL_ASSIGN_OR_RETURN(Relation repaired,
+                            RepairKeySample(proj, SpecFor(rule), rng));
+      chosen.assign(repaired.tuples().begin(), repaired.tuples().end());
+    } else {
+      chosen.assign(proj.tuples().begin(), proj.tuples().end());
+    }
+    Relation* rel = db_.FindMutable(rule.head.predicate);
+    if (rel == nullptr) {
+      return Status::Internal("head relation '" + rule.head.predicate +
+                              "' missing");
+    }
+    Schema proj_schema{cols};
+    for (const Tuple& binding : chosen) {
+      PFQL_ASSIGN_OR_RETURN(Tuple head_tuple,
+                            BuildHeadTuple(rule.head, proj_schema, binding));
+      rel->Insert(std::move(head_tuple));
+    }
+  }
+  ++steps_;
+  return true;
+}
+
+StatusOr<Instance> InflationaryEngine::RunToFixpoint(Rng* rng,
+                                                     size_t max_steps) {
+  for (size_t i = 0; i < max_steps; ++i) {
+    PFQL_ASSIGN_OR_RETURN(bool fired, SampleStep(rng));
+    if (!fired) return db_;
+  }
+  return Status::ResourceExhausted("no fixpoint within " +
+                                   std::to_string(max_steps) + " steps");
+}
+
+namespace {
+
+// Exhaustive traversal of the computation tree. Choice points (one per
+// repair-key group per fired rule) are iterated lazily so memory stays
+// proportional to tree depth (Prop 4.4).
+class ExactTraversal {
+ public:
+  ExactTraversal(const CompiledProgram& cp,
+                 const ExactInflationaryOptions& options,
+                 std::function<Status(const Instance&, const BigRational&)>
+                     on_fixpoint)
+      : cp_(cp), options_(options), on_fixpoint_(std::move(on_fixpoint)) {}
+
+  Status Run(Instance db, std::vector<Relation> old_vals) {
+    return Visit(std::move(db), std::move(old_vals), BigRational(1));
+  }
+
+  size_t nodes_visited() const { return nodes_; }
+
+ private:
+  // One probabilistic choice point within a step.
+  struct ChoicePoint {
+    size_t rule;
+    RepairKeyGroup group;
+  };
+
+  Status Visit(Instance db, std::vector<Relation> old_vals,
+               BigRational prob) {
+    if (++nodes_ > options_.max_nodes) {
+      return Status::ResourceExhausted(
+          "exact evaluation exceeded max_nodes = " +
+          std::to_string(options_.max_nodes));
+    }
+    const auto& rules = cp_.program.rules();
+
+    // Evaluate all bodies on the old state; collect new valuations.
+    std::vector<Relation> new_vals;
+    new_vals.reserve(rules.size());
+    bool any_new = false;
+    for (size_t r = 0; r < rules.size(); ++r) {
+      PFQL_ASSIGN_OR_RETURN(Relation vals, EvalBody(cp_.body_exprs[r], db));
+      PFQL_ASSIGN_OR_RETURN(Relation fresh,
+                            vals.DifferenceWith(old_vals[r]));
+      if (!fresh.empty()) any_new = true;
+      new_vals.push_back(std::move(fresh));
+    }
+    if (!any_new) {
+      return on_fixpoint_(db, prob);
+    }
+
+    // Deterministic updates: oldVals for every rule; head tuples for
+    // non-probabilistic rules.
+    Instance next_db = db;
+    std::vector<Relation> next_old = old_vals;
+    std::vector<ChoicePoint> choice_points;
+    for (size_t r = 0; r < rules.size(); ++r) {
+      if (new_vals[r].empty()) continue;
+      PFQL_ASSIGN_OR_RETURN(next_old[r], next_old[r].UnionWith(new_vals[r]));
+      PFQL_ASSIGN_OR_RETURN(Relation proj,
+                            Project(new_vals[r], cp_.proj_cols[r]));
+      if (!rules[r].head.IsProbabilistic()) {
+        PFQL_RETURN_NOT_OK(AddHeadTuples(
+            cp_, r,
+            std::vector<Tuple>(proj.tuples().begin(), proj.tuples().end()),
+            &next_db));
+        continue;
+      }
+      PFQL_ASSIGN_OR_RETURN(std::vector<RepairKeyGroup> groups,
+                            RepairKeyGroups(proj, cp_.specs[r]));
+      for (auto& g : groups) {
+        choice_points.push_back({r, std::move(g)});
+      }
+    }
+
+    // Lazily iterate the product over choice points.
+    return IterateChoices(choice_points, 0, std::move(next_db),
+                          std::move(next_old), std::move(prob));
+  }
+
+  Status IterateChoices(const std::vector<ChoicePoint>& points, size_t depth,
+                        Instance db, std::vector<Relation> old_vals,
+                        BigRational prob) {
+    if (depth == points.size()) {
+      return Visit(std::move(db), std::move(old_vals), std::move(prob));
+    }
+    const ChoicePoint& cp = points[depth];
+    for (const auto& [binding, p] : cp.group.alternatives) {
+      Instance child = db;
+      PFQL_RETURN_NOT_OK(AddHeadTuples(cp_, cp.rule, {binding}, &child));
+      PFQL_RETURN_NOT_OK(IterateChoices(points, depth + 1, std::move(child),
+                                        old_vals, prob * p));
+    }
+    return Status::OK();
+  }
+
+  const CompiledProgram& cp_;
+  const ExactInflationaryOptions& options_;
+  std::function<Status(const Instance&, const BigRational&)> on_fixpoint_;
+  size_t nodes_ = 0;
+};
+
+StatusOr<CompiledProgram> CompileFor(const Program& program,
+                                     const Instance& edb,
+                                     Instance* initial) {
+  PFQL_ASSIGN_OR_RETURN(*initial, program.InitialInstance(edb));
+  return CompiledProgram::Make(program, *initial);
+}
+
+std::vector<Relation> EmptyOldVals(const Program& program) {
+  std::vector<Relation> out;
+  out.reserve(program.rules().size());
+  for (const auto& rule : program.rules()) {
+    out.emplace_back(Schema(rule.BodyVariables()));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<BigRational> ExactFixpointEventProbability(
+    const Program& program, const Instance& edb, const QueryEvent& event,
+    const ExactInflationaryOptions& options, size_t* nodes_visited) {
+  Instance initial;
+  PFQL_ASSIGN_OR_RETURN(CompiledProgram cp,
+                        CompileFor(program, edb, &initial));
+  BigRational total;
+  ExactTraversal traversal(
+      cp, options,
+      [&](const Instance& fixpoint, const BigRational& p) -> Status {
+        if (event.Holds(fixpoint)) total += p;
+        return Status::OK();
+      });
+  Status status = traversal.Run(initial, EmptyOldVals(program));
+  if (nodes_visited != nullptr) *nodes_visited = traversal.nodes_visited();
+  PFQL_RETURN_NOT_OK(status);
+  return total;
+}
+
+StatusOr<Distribution<Instance>> ExactFixpointDistribution(
+    const Program& program, const Instance& edb,
+    const ExactInflationaryOptions& options) {
+  Instance initial;
+  PFQL_ASSIGN_OR_RETURN(CompiledProgram cp,
+                        CompileFor(program, edb, &initial));
+  Distribution<Instance> dist;
+  ExactTraversal traversal(
+      cp, options,
+      [&](const Instance& fixpoint, const BigRational& p) -> Status {
+        dist.Add(fixpoint, p);
+        return Status::OK();
+      });
+  PFQL_RETURN_NOT_OK(traversal.Run(initial, EmptyOldVals(program)));
+  dist.Normalize();
+  return dist;
+}
+
+}  // namespace datalog
+}  // namespace pfql

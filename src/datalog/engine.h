@@ -1,0 +1,84 @@
+// The inflationary semantics of probabilistic datalog (paper Sec 3.3):
+//
+//   Repeat forever {  in parallel, for each rule r:
+//     newVals[r] := valuations of body(r) on the old state − oldVals[r];
+//     oldVals[r] := oldVals[r] ∪ newVals[r];
+//     R := R ∪ repair-key_X̄@P(π_{X̄,Ȳ,P}(newVals[r]));
+//   }
+//
+// Two evaluation modes:
+//  * sampling (one random computation path to a fixpoint) — the basis of the
+//    PTIME absolute approximation of Thm 4.3;
+//  * exact (full traversal of the computation tree, Prop 4.4) — worst-case
+//    exponential time but polynomial memory (a root-to-leaf path).
+#ifndef PFQL_DATALOG_ENGINE_H_
+#define PFQL_DATALOG_ENGINE_H_
+
+#include <vector>
+
+#include "datalog/program.h"
+#include "lang/interpretation.h"
+#include "prob/distribution.h"
+#include "ra/ra_expr.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace datalog {
+
+/// Sampling evaluator: runs one probabilistic computation path.
+class InflationaryEngine {
+ public:
+  /// Compiles rule bodies against the canonical evaluation instance built by
+  /// Program::InitialInstance(edb).
+  static StatusOr<InflationaryEngine> Make(Program program,
+                                           const Instance& edb);
+
+  const Instance& database() const { return db_; }
+  size_t steps_taken() const { return steps_; }
+
+  /// Fires all rules once (in parallel, reading the old state), sampling
+  /// every repair-key choice. Returns false iff no rule had new valuations
+  /// (the fixpoint was already reached and the state did not change).
+  StatusOr<bool> SampleStep(Rng* rng);
+
+  /// Iterates SampleStep until fixpoint; fails with ResourceExhausted after
+  /// max_steps (inflationary programs always terminate, so hitting the cap
+  /// indicates an unreasonable budget, not divergence).
+  StatusOr<Instance> RunToFixpoint(Rng* rng, size_t max_steps = 1 << 20);
+
+ private:
+  InflationaryEngine() = default;
+
+  Program program_;
+  std::vector<RaExpr::Ptr> body_exprs_;  // parallel to program_.rules()
+  Instance db_;
+  std::vector<Relation> old_vals_;  // parallel to rules; schema = body vars
+  size_t steps_ = 0;
+};
+
+/// Budget for the exact computation-tree traversal.
+struct ExactInflationaryOptions {
+  /// Maximum computation-tree nodes to visit before ResourceExhausted.
+  size_t max_nodes = 1 << 22;
+  ExactEvalOptions eval;
+};
+
+/// Exact probability that `event` holds at the fixpoint, by exhaustive
+/// depth-first traversal of the computation tree (Prop 4.4). Memory use is
+/// proportional to the tree depth (polynomial), time may be exponential.
+StatusOr<BigRational> ExactFixpointEventProbability(
+    const Program& program, const Instance& edb, const QueryEvent& event,
+    const ExactInflationaryOptions& options = {},
+    size_t* nodes_visited = nullptr);
+
+/// Exact distribution over fixpoint instances (merges equal fixpoints).
+/// Exponentially large in the worst case; bounded by options.max_nodes.
+StatusOr<Distribution<Instance>> ExactFixpointDistribution(
+    const Program& program, const Instance& edb,
+    const ExactInflationaryOptions& options = {});
+
+}  // namespace datalog
+}  // namespace pfql
+
+#endif  // PFQL_DATALOG_ENGINE_H_

@@ -1,0 +1,247 @@
+#include "datalog/lexer.h"
+
+#include <cctype>
+
+namespace pfql {
+namespace datalog {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kPeriod:
+      return "'.'";
+    case TokenKind::kColonDash:
+      return "':-'";
+    case TokenKind::kAt:
+      return "'@'";
+    case TokenKind::kLess:
+      return "'<'";
+    case TokenKind::kGreater:
+      return "'>'";
+    case TokenKind::kLessEq:
+      return "'<='";
+    case TokenKind::kGreaterEq:
+      return "'>='";
+    case TokenKind::kEqEq:
+      return "'=='";
+    case TokenKind::kNotEq:
+      return "'!='";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::string Token::Describe() const {
+  std::string out = TokenKindToString(kind);
+  if (kind == TokenKind::kIdent || kind == TokenKind::kVariable ||
+      kind == TokenKind::kNumber || kind == TokenKind::kString) {
+    out += " '" + text + "'";
+  }
+  return out + " at line " + std::to_string(line) + ", column " +
+         std::to_string(column);
+}
+
+namespace {
+
+Status LexError(size_t line, size_t column, const std::string& message) {
+  return Status::ParseError(message + " at line " + std::to_string(line) +
+                            ", column " + std::to_string(column));
+}
+
+}  // namespace
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t line = 1, column = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto push = [&](TokenKind kind, std::string text, Value value = Value()) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.value = std::move(value);
+    t.line = line;
+    t.column = column;
+    tokens.push_back(std::move(t));
+  };
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '%' || c == '#') {
+      while (i < n && source[i] != '\n') advance(1);
+      continue;
+    }
+    if (c == '(') {
+      push(TokenKind::kLParen, "(");
+      advance(1);
+      continue;
+    }
+    if (c == ')') {
+      push(TokenKind::kRParen, ")");
+      advance(1);
+      continue;
+    }
+    if (c == ',') {
+      push(TokenKind::kComma, ",");
+      advance(1);
+      continue;
+    }
+    if (c == '.') {
+      // Distinguish the rule terminator from a decimal point inside a
+      // number; numbers are handled below, so a bare '.' here terminates.
+      push(TokenKind::kPeriod, ".");
+      advance(1);
+      continue;
+    }
+    if (c == ':') {
+      if (i + 1 < n && source[i + 1] == '-') {
+        push(TokenKind::kColonDash, ":-");
+        advance(2);
+        continue;
+      }
+      return LexError(line, column, "expected ':-'");
+    }
+    if (c == '@') {
+      push(TokenKind::kAt, "@");
+      advance(1);
+      continue;
+    }
+    if (c == '<') {
+      if (i + 1 < n && source[i + 1] == '=') {
+        push(TokenKind::kLessEq, "<=");
+        advance(2);
+      } else {
+        push(TokenKind::kLess, "<");
+        advance(1);
+      }
+      continue;
+    }
+    if (c == '>') {
+      if (i + 1 < n && source[i + 1] == '=') {
+        push(TokenKind::kGreaterEq, ">=");
+        advance(2);
+      } else {
+        push(TokenKind::kGreater, ">");
+        advance(1);
+      }
+      continue;
+    }
+    if (c == '=') {
+      if (i + 1 < n && source[i + 1] == '=') {
+        push(TokenKind::kEqEq, "==");
+        advance(2);
+      } else {
+        push(TokenKind::kEqEq, "=");
+        advance(1);
+      }
+      continue;
+    }
+    if (c == '!') {
+      if (i + 1 < n && source[i + 1] == '=') {
+        push(TokenKind::kNotEq, "!=");
+        advance(2);
+        continue;
+      }
+      return LexError(line, column, "expected '!='");
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t start_line = line, start_col = column;
+      advance(1);
+      std::string text;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\n') {
+          return LexError(start_line, start_col,
+                          "unterminated string literal");
+        }
+        text.push_back(source[i]);
+        advance(1);
+      }
+      if (i >= n) {
+        return LexError(start_line, start_col, "unterminated string literal");
+      }
+      advance(1);  // closing quote
+      push(TokenKind::kString, text, Value(text));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::string text;
+      bool is_double = false;
+      if (c == '-') {
+        text.push_back('-');
+        advance(1);
+      }
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.')) {
+        if (source[i] == '.') {
+          // A '.' not followed by a digit is the rule terminator.
+          if (i + 1 >= n ||
+              !std::isdigit(static_cast<unsigned char>(source[i + 1]))) {
+            break;
+          }
+          if (is_double) break;
+          is_double = true;
+        }
+        text.push_back(source[i]);
+        advance(1);
+      }
+      if (is_double) {
+        push(TokenKind::kNumber, text, Value(std::stod(text)));
+      } else {
+        push(TokenKind::kNumber, text,
+             Value(static_cast<int64_t>(std::stoll(text))));
+      }
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        text.push_back(source[i]);
+        advance(1);
+      }
+      const bool is_var =
+          std::isupper(static_cast<unsigned char>(text[0])) || text[0] == '_';
+      push(is_var ? TokenKind::kVariable : TokenKind::kIdent, text);
+      continue;
+    }
+    return LexError(line, column,
+                    std::string("unexpected character '") + c + "'");
+  }
+  push(TokenKind::kEof, "");
+  return tokens;
+}
+
+}  // namespace datalog
+}  // namespace pfql

@@ -1,0 +1,53 @@
+// Tokenizer for the probabilistic datalog concrete syntax.
+#ifndef PFQL_DATALOG_LEXER_H_
+#define PFQL_DATALOG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace datalog {
+
+enum class TokenKind {
+  kLParen,
+  kRParen,
+  kComma,
+  kPeriod,
+  kColonDash,  // :-
+  kAt,         // @
+  kLess,       // <   (key bracket open, or comparison)
+  kGreater,    // >   (key bracket close, or comparison)
+  kLessEq,     // <=
+  kGreaterEq,  // >=
+  kEqEq,       // ==  (also accepts '=')
+  kNotEq,      // !=
+  kIdent,      // lower-case identifier (constant symbol / predicate)
+  kVariable,   // upper-case identifier (datalog variable)
+  kNumber,     // integer or decimal literal
+  kString,     // quoted string literal
+  kEof,
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // identifier / variable name / raw literal
+  Value value;        // for kNumber / kString
+  size_t line = 1;    // 1-based source position
+  size_t column = 1;
+
+  std::string Describe() const;
+};
+
+/// Tokenizes `source`. Comments run from '%' or '#' to end of line.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace datalog
+}  // namespace pfql
+
+#endif  // PFQL_DATALOG_LEXER_H_

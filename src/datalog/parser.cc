@@ -1,0 +1,206 @@
+// Recursive-descent parser for probabilistic datalog. Grammar:
+//
+//   program   := rule*
+//   rule      := head ( ":-" body )? "."
+//   head      := IDENT [ "(" head_term ("," head_term)* ")" ] [ "@" VAR ]
+//   head_term := "<" term ">" | term            -- <...> marks a key column
+//   body      := body_atom ("," body_atom)*
+//   body_atom := IDENT [ "(" term ("," term)* ")" ]
+//              | term cmpop term
+//   term      := VAR | IDENT | NUMBER | STRING
+//   cmpop     := "==" | "=" | "!=" | "<" | "<=" | ">" | ">="
+#include "datalog/lexer.h"
+#include "datalog/program.h"
+
+namespace pfql {
+namespace datalog {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<std::vector<Rule>> ParseRules() {
+    std::vector<Rule> rules;
+    while (Peek().kind != TokenKind::kEof) {
+      PFQL_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+      rules.push_back(std::move(rule));
+    }
+    return rules;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool Match(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenKind kind) {
+    if (Match(kind)) return Status::OK();
+    return Status::ParseError(std::string("expected ") +
+                              TokenKindToString(kind) + ", found " +
+                              Peek().Describe());
+  }
+
+  StatusOr<Term> ParseTerm() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kVariable:
+        Advance();
+        return Term::Var(t.text);
+      case TokenKind::kIdent:
+        Advance();
+        return Term::Const(Value(t.text));
+      case TokenKind::kNumber:
+      case TokenKind::kString:
+        Advance();
+        return Term::Const(t.value);
+      default:
+        return Status::ParseError("expected a term, found " + t.Describe());
+    }
+  }
+
+  StatusOr<Rule> ParseRule() {
+    Rule rule;
+    PFQL_ASSIGN_OR_RETURN(rule.head, ParseHead());
+    if (Match(TokenKind::kColonDash)) {
+      PFQL_RETURN_NOT_OK(ParseBody(&rule));
+    }
+    PFQL_RETURN_NOT_OK(Expect(TokenKind::kPeriod));
+    return rule;
+  }
+
+  StatusOr<Head> ParseHead() {
+    Head head;
+    const Token& name = Peek();
+    if (name.kind != TokenKind::kIdent) {
+      return Status::ParseError("expected a predicate name, found " +
+                                name.Describe());
+    }
+    Advance();
+    head.predicate = name.text;
+    if (Match(TokenKind::kLParen)) {
+      if (!Match(TokenKind::kRParen)) {
+        do {
+          bool is_key = Match(TokenKind::kLess);
+          PFQL_ASSIGN_OR_RETURN(Term term, ParseTerm());
+          if (is_key) PFQL_RETURN_NOT_OK(Expect(TokenKind::kGreater));
+          head.terms.push_back(std::move(term));
+          head.is_key.push_back(is_key);
+        } while (Match(TokenKind::kComma));
+        PFQL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      }
+    }
+    if (Match(TokenKind::kAt)) {
+      const Token& w = Peek();
+      if (w.kind != TokenKind::kVariable) {
+        return Status::ParseError("expected a weight variable after '@', "
+                                  "found " +
+                                  w.Describe());
+      }
+      Advance();
+      head.weight_var = w.text;
+    }
+    // Classical-rule convention: no <...> markers and no @weight means the
+    // rule is plain datalog — every position is a key (deterministic).
+    bool any_marker = false;
+    for (bool k : head.is_key) any_marker = any_marker || k;
+    if (!any_marker && !head.weight_var) {
+      head.is_key.assign(head.is_key.size(), true);
+    }
+    return head;
+  }
+
+  Status ParseBody(Rule* rule) {
+    do {
+      PFQL_RETURN_NOT_OK(ParseBodyAtom(rule));
+    } while (Match(TokenKind::kComma));
+    return Status::OK();
+  }
+
+  static bool IsCmpToken(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kEqEq:
+      case TokenKind::kNotEq:
+      case TokenKind::kLess:
+      case TokenKind::kLessEq:
+      case TokenKind::kGreater:
+      case TokenKind::kGreaterEq:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  static CmpOp ToCmpOp(TokenKind kind) {
+    switch (kind) {
+      case TokenKind::kEqEq:
+        return CmpOp::kEq;
+      case TokenKind::kNotEq:
+        return CmpOp::kNe;
+      case TokenKind::kLess:
+        return CmpOp::kLt;
+      case TokenKind::kLessEq:
+        return CmpOp::kLe;
+      case TokenKind::kGreater:
+        return CmpOp::kGt;
+      default:
+        return CmpOp::kGe;
+    }
+  }
+
+  Status ParseBodyAtom(Rule* rule) {
+    // Relational atom: IDENT followed by '(' or by ',' / '.' (nullary).
+    if (Peek().kind == TokenKind::kIdent && !IsCmpToken(Peek(1).kind)) {
+      Atom atom;
+      atom.predicate = Advance().text;
+      if (Match(TokenKind::kLParen)) {
+        if (!Match(TokenKind::kRParen)) {
+          do {
+            PFQL_ASSIGN_OR_RETURN(Term term, ParseTerm());
+            atom.terms.push_back(std::move(term));
+          } while (Match(TokenKind::kComma));
+          PFQL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+        }
+      }
+      rule->body.push_back(std::move(atom));
+      return Status::OK();
+    }
+    // Builtin comparison.
+    BuiltinAtom builtin;
+    PFQL_ASSIGN_OR_RETURN(builtin.lhs, ParseTerm());
+    const Token& op = Peek();
+    if (!IsCmpToken(op.kind)) {
+      return Status::ParseError("expected a comparison operator, found " +
+                                op.Describe());
+    }
+    Advance();
+    builtin.op = ToCmpOp(op.kind);
+    PFQL_ASSIGN_OR_RETURN(builtin.rhs, ParseTerm());
+    rule->builtins.push_back(std::move(builtin));
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Program> ParseProgram(std::string_view source) {
+  PFQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
+  Parser parser(std::move(tokens));
+  PFQL_ASSIGN_OR_RETURN(std::vector<Rule> rules, parser.ParseRules());
+  return Program::Make(std::move(rules));
+}
+
+}  // namespace datalog
+}  // namespace pfql

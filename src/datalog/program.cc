@@ -1,0 +1,133 @@
+#include "datalog/program.h"
+
+#include <algorithm>
+
+namespace pfql {
+namespace datalog {
+
+StatusOr<Program> Program::Make(std::vector<Rule> rules) {
+  Program p;
+
+  // Pass 1: arities and IDB set.
+  for (const auto& rule : rules) {
+    auto check_arity = [&](const std::string& pred,
+                           size_t arity) -> Status {
+      auto [it, inserted] = p.arities_.emplace(pred, arity);
+      if (!inserted && it->second != arity) {
+        return Status::TypeError("predicate '" + pred +
+                                 "' used with arities " +
+                                 std::to_string(it->second) + " and " +
+                                 std::to_string(arity));
+      }
+      return Status::OK();
+    };
+    PFQL_RETURN_NOT_OK(check_arity(rule.head.predicate,
+                                   rule.head.terms.size()));
+    if (rule.head.is_key.size() != rule.head.terms.size()) {
+      return Status::Internal("head key-flag vector size mismatch in " +
+                              rule.ToString());
+    }
+    p.idb_.insert(rule.head.predicate);
+    for (const auto& atom : rule.body) {
+      PFQL_RETURN_NOT_OK(check_arity(atom.predicate, atom.terms.size()));
+    }
+  }
+  for (const auto& [pred, _] : p.arities_) {
+    if (!p.idb_.count(pred)) p.edb_.insert(pred);
+  }
+
+  // Pass 2: safety.
+  for (const auto& rule : rules) {
+    std::vector<std::string> body_vars = rule.BodyVariables();
+    auto bound = [&](const std::string& v) {
+      return std::find(body_vars.begin(), body_vars.end(), v) !=
+             body_vars.end();
+    };
+    for (const auto& t : rule.head.terms) {
+      if (t.IsVar() && !bound(t.var)) {
+        return Status::InvalidArgument("unsafe rule (head variable '" +
+                                       t.var + "' not bound in body): " +
+                                       rule.ToString());
+      }
+    }
+    if (rule.head.weight_var && !bound(*rule.head.weight_var)) {
+      return Status::InvalidArgument("unsafe rule (weight variable '" +
+                                     *rule.head.weight_var +
+                                     "' not bound in body): " +
+                                     rule.ToString());
+    }
+    for (const auto& builtin : rule.builtins) {
+      for (const Term* t : {&builtin.lhs, &builtin.rhs}) {
+        if (t->IsVar() && !bound(t->var)) {
+          return Status::InvalidArgument(
+              "unsafe rule (builtin variable '" + t->var +
+              "' not bound in a relational atom): " + rule.ToString());
+        }
+      }
+    }
+  }
+
+  p.rules_ = std::move(rules);
+  return p;
+}
+
+bool Program::IsLinear() const {
+  for (const auto& rule : rules_) {
+    size_t idb_atoms = 0;
+    for (const auto& atom : rule.body) {
+      if (idb_.count(atom.predicate)) ++idb_atoms;
+    }
+    if (idb_atoms > 1) return false;
+  }
+  return true;
+}
+
+bool Program::HasProbabilisticRules() const {
+  for (const auto& rule : rules_) {
+    if (rule.head.IsProbabilistic()) return true;
+  }
+  return false;
+}
+
+Schema Program::CanonicalSchema(const std::string& predicate) const {
+  auto it = arities_.find(predicate);
+  const size_t arity = it == arities_.end() ? 0 : it->second;
+  std::vector<std::string> cols;
+  cols.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) cols.push_back("a" + std::to_string(i));
+  return Schema(std::move(cols));
+}
+
+StatusOr<Instance> Program::InitialInstance(
+    const Instance& edb_instance) const {
+  Instance out;
+  for (const auto& pred : edb_) {
+    PFQL_ASSIGN_OR_RETURN(Relation rel, edb_instance.Get(pred));
+    const size_t expected = arities_.at(pred);
+    if (!rel.empty() && rel.schema().size() != expected) {
+      return Status::TypeError("EDB relation '" + pred + "' has arity " +
+                               std::to_string(rel.schema().size()) +
+                               ", program expects " +
+                               std::to_string(expected));
+    }
+    out.Set(pred, std::move(rel));
+  }
+  for (const auto& pred : idb_) {
+    if (edb_instance.Has(pred)) {
+      return Status::InvalidArgument(
+          "IDB relation '" + pred +
+          "' must not be present in the input instance");
+    }
+    out.Set(pred, Relation(CanonicalSchema(pred)));
+  }
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const auto& rule : rules_) out += rule.ToString() + "\n";
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace pfql

@@ -1,0 +1,71 @@
+// Probabilistic datalog programs: rule collections plus static analysis
+// (arity consistency, safety, EDB/IDB split, linearity, probabilistic-rule
+// detection). The analyses back the restrictions the paper studies: *linear*
+// datalog (≤1 IDB atom per body) and datalog *without probabilistic rules*.
+#ifndef PFQL_DATALOG_PROGRAM_H_
+#define PFQL_DATALOG_PROGRAM_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "relational/instance.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace datalog {
+
+/// A validated datalog program.
+class Program {
+ public:
+  /// Validates and wraps rules. Checks performed:
+  ///  * consistent arity per predicate (across heads and body atoms),
+  ///  * safety: every head variable, weight variable, and builtin variable
+  ///    occurs in a positive body atom (facts must have ground heads),
+  ///  * key flags only on rule heads (enforced by the AST shape),
+  ///  * weight variable is a body variable.
+  static StatusOr<Program> Make(std::vector<Rule> rules);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+  /// Predicates appearing in some rule head.
+  const std::set<std::string>& idb_predicates() const { return idb_; }
+  /// Predicates appearing only in bodies.
+  const std::set<std::string>& edb_predicates() const { return edb_; }
+  /// Arity of every predicate mentioned by the program.
+  const std::map<std::string, size_t>& arities() const { return arities_; }
+
+  /// Linear datalog: each rule body contains at most one IDB atom.
+  bool IsLinear() const;
+
+  /// True iff some rule makes probabilistic choices (non-key head position
+  /// or an explicit weight variable).
+  bool HasProbabilisticRules() const;
+
+  /// Canonical schema for a predicate: columns "a0", "a1", ....
+  Schema CanonicalSchema(const std::string& predicate) const;
+
+  /// Prepares an evaluation instance: copies the EDB relations out of
+  /// `edb_instance` (validating presence and arity) and adds every IDB
+  /// relation as an empty relation with its canonical schema. If an IDB
+  /// relation already exists in `edb_instance` it is an error (IDB
+  /// relations start empty under the paper's semantics).
+  StatusOr<Instance> InitialInstance(const Instance& edb_instance) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Rule> rules_;
+  std::set<std::string> idb_, edb_;
+  std::map<std::string, size_t> arities_;
+};
+
+/// Parses program text (see ast.h for the syntax) and validates it.
+StatusOr<Program> ParseProgram(std::string_view source);
+
+}  // namespace datalog
+}  // namespace pfql
+
+#endif  // PFQL_DATALOG_PROGRAM_H_

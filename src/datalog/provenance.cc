@@ -1,0 +1,186 @@
+#include "datalog/provenance.h"
+
+#include <functional>
+
+namespace pfql {
+namespace datalog {
+
+namespace {
+
+using IdSet = std::set<size_t>;
+
+// Nested-loop matcher for one rule over the provenance database, tracking
+// the union of contributing base ids per valuation.
+class ProvenanceJoiner {
+ public:
+  ProvenanceJoiner(
+      const Rule& rule, const std::map<FactKey, IdSet>& db,
+      const std::map<std::string, std::vector<const FactKey*>>& by_relation)
+      : rule_(rule), db_(db), by_relation_(by_relation) {}
+
+  // Calls fn(binding, merged ids) for every body valuation.
+  Status ForEachValuation(
+      const std::function<Status(const std::map<std::string, Value>&,
+                                 const IdSet&)>& fn) {
+    on_valuation_ = &fn;
+    return Match(0);
+  }
+
+ private:
+  Status Match(size_t atom_index) {
+    if (atom_index == rule_.body.size()) {
+      for (const auto& builtin : rule_.builtins) {
+        PFQL_ASSIGN_OR_RETURN(bool ok, EvalBuiltin(builtin));
+        if (!ok) return Status::OK();
+      }
+      return (*on_valuation_)(binding_, ids_);
+    }
+    const Atom& atom = rule_.body[atom_index];
+    auto it = by_relation_.find(atom.predicate);
+    if (it == by_relation_.end()) return Status::OK();
+    for (const FactKey* key : it->second) {
+      if (key->second.size() != atom.terms.size()) continue;
+      std::vector<std::string> newly_bound;
+      bool ok = true;
+      for (size_t i = 0; i < atom.terms.size() && ok; ++i) {
+        const Term& t = atom.terms[i];
+        const Value& v = key->second[i];
+        if (!t.IsVar()) {
+          ok = t.value == v;
+        } else {
+          auto bit = binding_.find(t.var);
+          if (bit == binding_.end()) {
+            binding_.emplace(t.var, v);
+            newly_bound.push_back(t.var);
+          } else {
+            ok = bit->second == v;
+          }
+        }
+      }
+      if (ok) {
+        const IdSet& tuple_ids = db_.at(*key);
+        std::vector<size_t> added;
+        for (size_t id : tuple_ids) {
+          if (ids_.insert(id).second) added.push_back(id);
+        }
+        PFQL_RETURN_NOT_OK(Match(atom_index + 1));
+        for (size_t id : added) ids_.erase(id);
+      }
+      for (const auto& var : newly_bound) binding_.erase(var);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<bool> EvalBuiltin(const BuiltinAtom& builtin) const {
+    auto value_of = [&](const Term& t) -> StatusOr<Value> {
+      if (!t.IsVar()) return t.value;
+      auto it = binding_.find(t.var);
+      if (it == binding_.end()) {
+        return Status::Internal("unbound builtin variable '" + t.var + "'");
+      }
+      return it->second;
+    };
+    PFQL_ASSIGN_OR_RETURN(Value lhs, value_of(builtin.lhs));
+    PFQL_ASSIGN_OR_RETURN(Value rhs, value_of(builtin.rhs));
+    const int c = lhs.Compare(rhs);
+    switch (builtin.op) {
+      case CmpOp::kEq:
+        return c == 0;
+      case CmpOp::kNe:
+        return c != 0;
+      case CmpOp::kLt:
+        return c < 0;
+      case CmpOp::kLe:
+        return c <= 0;
+      case CmpOp::kGt:
+        return c > 0;
+      case CmpOp::kGe:
+        return c >= 0;
+    }
+    return Status::Internal("corrupt builtin op");
+  }
+
+  const Rule& rule_;
+  const std::map<FactKey, IdSet>& db_;
+  const std::map<std::string, std::vector<const FactKey*>>& by_relation_;
+  std::map<std::string, Value> binding_;
+  IdSet ids_;
+  const std::function<Status(const std::map<std::string, Value>&,
+                             const IdSet&)>* on_valuation_ = nullptr;
+};
+
+}  // namespace
+
+const std::set<size_t>* ProvenanceDatabase::Lineage(
+    const std::string& relation, const Tuple& tuple) const {
+  auto it = lineage.find({relation, tuple});
+  return it == lineage.end() ? nullptr : &it->second;
+}
+
+StatusOr<ProvenanceDatabase> ComputeProvenance(const Program& program,
+                                               const Instance& edb) {
+  ProvenanceDatabase out;
+
+  // Base ids for EDB tuples.
+  for (const auto& pred : program.edb_predicates()) {
+    PFQL_ASSIGN_OR_RETURN(Relation rel, edb.Get(pred));
+    for (const auto& t : rel.tuples()) {
+      FactKey key{pred, t};
+      out.lineage[key] = {out.base.size()};
+      out.base.push_back(key);
+    }
+  }
+
+  // Choice-group accumulation keyed by (rule index, key-variable values).
+  std::map<std::pair<size_t, Tuple>, IdSet> groups;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::string, std::vector<const FactKey*>> by_relation;
+    for (const auto& [key, _] : out.lineage) {
+      by_relation[key.first].push_back(&key);
+    }
+
+    std::vector<std::pair<FactKey, IdSet>> derived;
+    for (size_t r = 0; r < program.rules().size(); ++r) {
+      const Rule& rule = program.rules()[r];
+      const std::vector<std::string> key_vars = rule.KeyVariables();
+      ProvenanceJoiner joiner(rule, out.lineage, by_relation);
+      PFQL_RETURN_NOT_OK(joiner.ForEachValuation(
+          [&](const std::map<std::string, Value>& binding,
+              const IdSet& ids) -> Status {
+            Tuple head;
+            for (const auto& term : rule.head.terms) {
+              head.Append(term.IsVar() ? binding.at(term.var) : term.value);
+            }
+            derived.emplace_back(FactKey{rule.head.predicate, std::move(head)},
+                                 ids);
+            if (rule.head.IsProbabilistic()) {
+              Tuple key;
+              for (const auto& kv : key_vars) key.Append(binding.at(kv));
+              IdSet& group = groups[{r, std::move(key)}];
+              const size_t before = group.size();
+              group.insert(ids.begin(), ids.end());
+              if (group.size() != before) changed = true;
+            }
+            return Status::OK();
+          }));
+    }
+    for (auto& [key, ids] : derived) {
+      auto [it, inserted] = out.lineage.try_emplace(key);
+      const size_t before = it->second.size();
+      it->second.insert(ids.begin(), ids.end());
+      if (inserted || it->second.size() != before) changed = true;
+    }
+  }
+
+  out.choice_groups.reserve(groups.size());
+  for (auto& [_, ids] : groups) {
+    if (ids.size() > 1) out.choice_groups.push_back(std::move(ids));
+  }
+  return out;
+}
+
+}  // namespace datalog
+}  // namespace pfql

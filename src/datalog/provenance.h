@@ -1,0 +1,58 @@
+// Why-provenance for datalog evaluation (the pre-processing pass of the
+// paper's Sec 5.1): evaluates the program classically (all rules, all
+// valuations, no probabilistic choice), tagging every tuple with the set of
+// base (EDB) tuples its derivations used. Probabilistic rules additionally
+// record *choice groups* — sets of base tuples whose derivations compete in
+// the same repair-key group and are therefore statistically dependent even
+// though they never co-occur in a single derivation.
+//
+// The Sec 5.1 partitioning (eval/partition.h) is built on this; the module
+// is exposed publicly because lineage is useful on its own (debugging
+// programs, explaining query answers).
+#ifndef PFQL_DATALOG_PROVENANCE_H_
+#define PFQL_DATALOG_PROVENANCE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "datalog/program.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace datalog {
+
+/// A tuple in the context of its relation.
+using FactKey = std::pair<std::string, Tuple>;
+
+/// Result of the provenance evaluation.
+struct ProvenanceDatabase {
+  /// Base (EDB) tuples; the index into this vector is the tuple's id.
+  std::vector<FactKey> base;
+  /// Every fact present at the classical fixpoint (base facts included),
+  /// with the union of base-tuple ids over all of its derivations.
+  std::map<FactKey, std::set<size_t>> lineage;
+  /// Repair-key choice groups: each set holds the base ids supporting the
+  /// competing valuations of one (rule, key-value) group.
+  std::vector<std::set<size_t>> choice_groups;
+
+  /// Lineage of a fact, or nullptr if it is not derivable.
+  const std::set<size_t>* Lineage(const std::string& relation,
+                                  const Tuple& tuple) const;
+
+  /// True iff the fact is derivable classically.
+  bool Derivable(const std::string& relation, const Tuple& tuple) const {
+    return Lineage(relation, tuple) != nullptr;
+  }
+};
+
+/// Runs the classical inflationary evaluation with provenance tracking.
+StatusOr<ProvenanceDatabase> ComputeProvenance(const Program& program,
+                                               const Instance& edb);
+
+}  // namespace datalog
+}  // namespace pfql
+
+#endif  // PFQL_DATALOG_PROVENANCE_H_

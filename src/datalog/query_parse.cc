@@ -1,0 +1,54 @@
+#include "datalog/query_parse.h"
+
+#include "datalog/lexer.h"
+
+namespace pfql {
+namespace datalog {
+
+StatusOr<QueryEvent> ParseGroundAtom(std::string_view text) {
+  PFQL_ASSIGN_OR_RETURN(auto tokens, Tokenize(text));
+  size_t i = 0;
+  if (tokens[i].kind != TokenKind::kIdent) {
+    return Status::ParseError("event must start with a relation name; found " +
+                              tokens[i].Describe());
+  }
+  QueryEvent event;
+  event.relation = tokens[i].text;
+  ++i;
+  if (tokens[i].kind == TokenKind::kLParen) {
+    ++i;
+    if (tokens[i].kind != TokenKind::kRParen) {
+      for (;;) {
+        const Token& t = tokens[i];
+        if (t.kind == TokenKind::kNumber || t.kind == TokenKind::kString) {
+          event.tuple.Append(t.value);
+        } else if (t.kind == TokenKind::kIdent) {
+          event.tuple.Append(Value(t.text));
+        } else {
+          return Status::ParseError(
+              "event arguments must be constants; found " + t.Describe());
+        }
+        ++i;
+        if (tokens[i].kind == TokenKind::kComma) {
+          ++i;
+          continue;
+        }
+        break;
+      }
+    }
+    if (tokens[i].kind != TokenKind::kRParen) {
+      return Status::ParseError("expected ')' in event, found " +
+                                tokens[i].Describe());
+    }
+    ++i;
+  }
+  if (tokens[i].kind == TokenKind::kPeriod) ++i;
+  if (tokens[i].kind != TokenKind::kEof) {
+    return Status::ParseError("trailing input after event atom: " +
+                              tokens[i].Describe());
+  }
+  return event;
+}
+
+}  // namespace datalog
+}  // namespace pfql

@@ -1,0 +1,21 @@
+// Parsing of query events from text: a ground atom like
+//   cur(3)      team("LA Lakers", bryant)      done
+// denotes the event "tuple ∈ relation" (Def 3.2). Bare lower-case words are
+// string constants; arguments must be ground (no variables).
+#ifndef PFQL_DATALOG_QUERY_PARSE_H_
+#define PFQL_DATALOG_QUERY_PARSE_H_
+
+#include <string_view>
+
+#include "lang/interpretation.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace datalog {
+
+StatusOr<QueryEvent> ParseGroundAtom(std::string_view text);
+
+}  // namespace datalog
+}  // namespace pfql
+
+#endif  // PFQL_DATALOG_QUERY_PARSE_H_

@@ -1,0 +1,34 @@
+// Semi-naive evaluation for *classical* (deterministic) datalog programs:
+// each round joins only the previous round's delta tuples against the full
+// relations, instead of recomputing every valuation. This is the standard
+// datalog optimization; PFQL uses it wherever a deterministic fixpoint is
+// needed (sanity baselines, the classical part of mixed workloads) and as
+// the performance baseline in bench_datalog_engine.
+//
+// Probabilistic rules are rejected: their semantics depends on *when* a
+// valuation is first seen (Sec 3.3's newVals bookkeeping), which the
+// general inflationary engine (datalog/engine.h) implements.
+#ifndef PFQL_DATALOG_SEMINAIVE_H_
+#define PFQL_DATALOG_SEMINAIVE_H_
+
+#include "datalog/program.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace datalog {
+
+struct SeminaiveStats {
+  size_t rounds = 0;
+  size_t derived_tuples = 0;
+};
+
+/// Computes the classical fixpoint of a deterministic program.
+/// Fails with InvalidArgument if the program has probabilistic rules.
+StatusOr<Instance> SeminaiveFixpoint(const Program& program,
+                                     const Instance& edb,
+                                     SeminaiveStats* stats = nullptr);
+
+}  // namespace datalog
+}  // namespace pfql
+
+#endif  // PFQL_DATALOG_SEMINAIVE_H_

@@ -1,0 +1,48 @@
+// Translations from probabilistic datalog programs to probabilistic
+// first-order interpretations (transition kernels):
+//
+//  * TranslateNonInflationary — the Def 3.2 reading of a program: every IDB
+//    relation is recomputed from scratch each step (destructive assignment),
+//    with repair-key choices re-made every iteration.
+//  * TranslateInflationary — the Prop 3.8 construction: an inflationary
+//    query equivalent to the Sec 3.3 engine semantics, using auxiliary
+//    oldVals relations ("__old<i>") to fire each body valuation's
+//    probabilistic choice exactly once.
+#ifndef PFQL_DATALOG_TRANSLATE_H_
+#define PFQL_DATALOG_TRANSLATE_H_
+
+#include "datalog/program.h"
+#include "lang/interpretation.h"
+#include "prob/ctable.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace datalog {
+
+/// Result of a translation: the kernel plus the initial instance matching it
+/// (EDB data, empty IDB relations, and for the inflationary translation the
+/// empty auxiliary oldVals relations).
+struct TranslatedQuery {
+  Interpretation kernel;
+  Instance initial;
+};
+
+/// Noninflationary reading (random walk over instances).
+StatusOr<TranslatedQuery> TranslateNonInflationary(const Program& program,
+                                                   const Instance& edb);
+
+/// Inflationary query equivalent to the program (Prop 3.8).
+StatusOr<TranslatedQuery> TranslateInflationary(const Program& program,
+                                                const Instance& edb);
+
+/// Noninflationary reading with probabilistic c-table EDB relations: the
+/// pc-tables of `pc` are expanded into repair-key machinery (Sec 3.1's
+/// macro device) so their tuples are re-chosen every iteration. Relations
+/// defined by `pc` must appear as EDB predicates of the program.
+StatusOr<TranslatedQuery> TranslateNonInflationaryWithPC(
+    const Program& program, const PCDatabase& pc, const Instance& extra_edb);
+
+}  // namespace datalog
+}  // namespace pfql
+
+#endif  // PFQL_DATALOG_TRANSLATE_H_

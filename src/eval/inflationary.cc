@@ -1,0 +1,171 @@
+#include "eval/inflationary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <thread>
+
+namespace pfql {
+namespace eval {
+
+namespace {
+
+// Merges extra certain relations into a pc-world instance.
+Status MergeInstances(const Instance& extra, Instance* world) {
+  for (const auto& [name, rel] : extra.relations()) {
+    if (world->Has(name)) {
+      return Status::AlreadyExists("relation '" + name +
+                                   "' defined by both the c-table database "
+                                   "and the extra EDB");
+    }
+    world->Set(name, rel);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<BigRational> ExactInflationary(
+    const datalog::Program& program, const Instance& edb,
+    const QueryEvent& event,
+    const datalog::ExactInflationaryOptions& options,
+    size_t* nodes_visited) {
+  return datalog::ExactFixpointEventProbability(program, edb, event, options,
+                                                nodes_visited);
+}
+
+StatusOr<BigRational> ExactInflationaryOverPC(
+    const datalog::Program& program, const PCDatabase& pc,
+    const Instance& extra_edb, const QueryEvent& event,
+    const datalog::ExactInflationaryOptions& options) {
+  // Iterate valuations of the independent variables (the outer PSPACE loop
+  // of Prop 4.4) without materializing the full world distribution.
+  std::vector<const RandomVariable*> vars;
+  for (const auto& [_, v] : pc.variables()) vars.push_back(&v);
+
+  BigRational total;
+  Valuation valuation;
+  std::function<Status(size_t, BigRational)> recurse =
+      [&](size_t depth, BigRational prob) -> Status {
+    if (depth == vars.size()) {
+      PFQL_ASSIGN_OR_RETURN(Instance world, pc.InstanceFor(valuation));
+      PFQL_RETURN_NOT_OK(MergeInstances(extra_edb, &world));
+      PFQL_ASSIGN_OR_RETURN(BigRational p,
+                            datalog::ExactFixpointEventProbability(
+                                program, world, event, options));
+      total += prob * p;
+      return Status::OK();
+    }
+    const RandomVariable& var = *vars[depth];
+    for (const auto& [value, p] : var.domain) {
+      valuation[var.name] = value;
+      PFQL_RETURN_NOT_OK(recurse(depth + 1, prob * p));
+    }
+    valuation.erase(var.name);
+    return Status::OK();
+  };
+  PFQL_RETURN_NOT_OK(recurse(0, BigRational(1)));
+  return total;
+}
+
+size_t ApproxParams::SampleCount() const {
+  const double m = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
+  return static_cast<size_t>(std::ceil(m));
+}
+
+namespace {
+
+// One worker's share of the Monte Carlo samples.
+struct WorkerTally {
+  size_t hits = 0;
+  size_t steps = 0;
+  Status status;
+};
+
+void RunWorker(const datalog::Program& program, const QueryEvent& event,
+               size_t samples, Rng rng,
+               const std::function<StatusOr<Instance>(Rng*)>& draw_world,
+               WorkerTally* tally) {
+  for (size_t i = 0; i < samples; ++i) {
+    auto world = draw_world(&rng);
+    if (!world.ok()) {
+      tally->status = world.status();
+      return;
+    }
+    auto engine = datalog::InflationaryEngine::Make(program, *world);
+    if (!engine.ok()) {
+      tally->status = engine.status();
+      return;
+    }
+    auto fixpoint = engine->RunToFixpoint(&rng);
+    if (!fixpoint.ok()) {
+      tally->status = fixpoint.status();
+      return;
+    }
+    tally->steps += engine->steps_taken();
+    if (event.Holds(*fixpoint)) ++tally->hits;
+  }
+}
+
+StatusOr<ApproxResult> RunSamples(
+    const datalog::Program& program, const QueryEvent& event,
+    const ApproxParams& params, Rng* rng,
+    const std::function<StatusOr<Instance>(Rng*)>& draw_world) {
+  ApproxResult result;
+  result.samples = params.SampleCount();
+  const size_t workers =
+      std::max<size_t>(1, std::min(params.threads, result.samples));
+  std::vector<WorkerTally> tallies(workers);
+  std::vector<size_t> shares(workers, result.samples / workers);
+  for (size_t w = 0; w < result.samples % workers; ++w) ++shares[w];
+
+  if (workers == 1) {
+    RunWorker(program, event, shares[0], rng->Fork(), draw_world,
+              &tallies[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(RunWorker, std::cref(program), std::cref(event),
+                        shares[w], rng->Fork(), std::cref(draw_world),
+                        &tallies[w]);
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  size_t hits = 0;
+  for (const auto& tally : tallies) {
+    PFQL_RETURN_NOT_OK(tally.status);
+    hits += tally.hits;
+    result.total_steps += tally.steps;
+  }
+  result.estimate =
+      static_cast<double>(hits) / static_cast<double>(result.samples);
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ApproxResult> ApproxInflationary(const datalog::Program& program,
+                                          const Instance& edb,
+                                          const QueryEvent& event,
+                                          const ApproxParams& params,
+                                          Rng* rng) {
+  return RunSamples(program, event, params, rng,
+                    [&](Rng*) -> StatusOr<Instance> { return edb; });
+}
+
+StatusOr<ApproxResult> ApproxInflationaryOverPC(
+    const datalog::Program& program, const PCDatabase& pc,
+    const Instance& extra_edb, const QueryEvent& event,
+    const ApproxParams& params, Rng* rng) {
+  return RunSamples(program, event, params, rng,
+                    [&](Rng* r) -> StatusOr<Instance> {
+                      PFQL_ASSIGN_OR_RETURN(Instance world, pc.SampleWorld(r));
+                      PFQL_RETURN_NOT_OK(MergeInstances(extra_edb, &world));
+                      return world;
+                    });
+}
+
+}  // namespace eval
+}  // namespace pfql

@@ -1,0 +1,74 @@
+// Evaluation algorithms for inflationary queries (paper Sec 4):
+//  * exact evaluation in PSPACE-style traversal (Prop 4.4), including over
+//    probabilistic c-tables (outer enumeration of variable valuations);
+//  * randomized absolute approximation in PTIME (Thm 4.3) by Monte Carlo
+//    sampling with a Hoeffding/Chernoff sample bound.
+#ifndef PFQL_EVAL_INFLATIONARY_H_
+#define PFQL_EVAL_INFLATIONARY_H_
+
+#include "datalog/engine.h"
+#include "datalog/program.h"
+#include "prob/ctable.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace eval {
+
+/// Exact query result Pr[event holds at the fixpoint] for a probabilistic
+/// datalog program over a deterministic input database.
+StatusOr<BigRational> ExactInflationary(
+    const datalog::Program& program, const Instance& edb,
+    const QueryEvent& event,
+    const datalog::ExactInflationaryOptions& options = {},
+    size_t* nodes_visited = nullptr);
+
+/// Exact query result over a probabilistic c-table input: iterates the
+/// valuations of the independent random variables (outer loop of Prop 4.4)
+/// and runs the computation-tree traversal per world. `program_edb` supplies
+/// any certain relations not represented in `pc`.
+StatusOr<BigRational> ExactInflationaryOverPC(
+    const datalog::Program& program, const PCDatabase& pc,
+    const Instance& extra_edb, const QueryEvent& event,
+    const datalog::ExactInflationaryOptions& options = {});
+
+/// Approximation parameters: with probability at least 1 − delta the
+/// estimate is within epsilon of the exact query result (absolute error).
+struct ApproxParams {
+  double epsilon = 0.05;
+  double delta = 0.05;
+  /// Worker threads for sampling (samples are embarrassingly parallel;
+  /// each worker gets an independently seeded RNG stream).
+  size_t threads = 1;
+
+  /// The Hoeffding sample count m = ⌈ln(2/δ)/(2ε²)⌉ used by Thm 4.3.
+  /// (The paper states ln(1/δ)/(4ε²); we use the standard two-sided
+  /// Hoeffding constant, which differs only by constants.)
+  size_t SampleCount() const;
+};
+
+/// Result of a sampling run.
+struct ApproxResult {
+  double estimate = 0.0;
+  size_t samples = 0;
+  size_t total_steps = 0;  ///< engine steps across all samples
+};
+
+/// Thm 4.3: randomized absolute approximation over a deterministic input.
+StatusOr<ApproxResult> ApproxInflationary(const datalog::Program& program,
+                                          const Instance& edb,
+                                          const QueryEvent& event,
+                                          const ApproxParams& params,
+                                          Rng* rng);
+
+/// Thm 4.3 over a probabilistic c-table input: each sample first draws a
+/// valuation of the c-table variables, then a computation path.
+StatusOr<ApproxResult> ApproxInflationaryOverPC(
+    const datalog::Program& program, const PCDatabase& pc,
+    const Instance& extra_edb, const QueryEvent& event,
+    const ApproxParams& params, Rng* rng);
+
+}  // namespace eval
+}  // namespace pfql
+
+#endif  // PFQL_EVAL_INFLATIONARY_H_

@@ -1,0 +1,148 @@
+#include "eval/noninflationary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace pfql {
+namespace eval {
+
+StatusOr<ExactForeverResult> ExactForever(const ForeverQuery& query,
+                                          const Instance& initial,
+                                          const StateSpaceOptions& options) {
+  PFQL_ASSIGN_OR_RETURN(StateSpace space,
+                        BuildStateSpace(query.kernel, initial, options));
+  ExactForeverResult result;
+  result.num_states = space.states.size();
+
+  SccDecomposition scc = space.chain.DecomposeScc();
+  result.num_components = scc.components.size();
+  for (bool b : scc.is_bottom) {
+    if (b) ++result.num_bottom;
+  }
+  result.irreducible = result.num_components == 1;
+  result.aperiodic = space.chain.IsAperiodic();
+
+  std::vector<bool> event_states = space.EventStates(query.event);
+  PFQL_ASSIGN_OR_RETURN(
+      result.probability,
+      space.chain.ExactLongRunProbability(
+          0, [&](size_t s) { return event_states[s]; }));
+  return result;
+}
+
+StatusOr<ExactForeverResult> ExactForeverEvent(
+    const Interpretation& kernel, const Instance& initial,
+    const EventExpr::Ptr& event, const StateSpaceOptions& options) {
+  if (event == nullptr) return Status::InvalidArgument("null event");
+  PFQL_ASSIGN_OR_RETURN(StateSpace space,
+                        BuildStateSpace(kernel, initial, options));
+  ExactForeverResult result;
+  result.num_states = space.states.size();
+
+  SccDecomposition scc = space.chain.DecomposeScc();
+  result.num_components = scc.components.size();
+  for (bool b : scc.is_bottom) {
+    if (b) ++result.num_bottom;
+  }
+  result.irreducible = result.num_components == 1;
+  result.aperiodic = space.chain.IsAperiodic();
+
+  std::vector<bool> indicator(space.states.size(), false);
+  for (size_t s = 0; s < space.states.size(); ++s) {
+    PFQL_ASSIGN_OR_RETURN(bool holds, event->Holds(space.states[s]));
+    indicator[s] = holds;
+  }
+  PFQL_ASSIGN_OR_RETURN(result.probability,
+                        space.chain.ExactLongRunProbability(
+                            0, [&](size_t s) { return indicator[s]; }));
+  return result;
+}
+
+size_t McmcParams::SampleCount() const {
+  const double m = std::log(2.0 / delta) / (2.0 * epsilon * epsilon);
+  return static_cast<size_t>(std::ceil(m));
+}
+
+namespace {
+
+struct McmcTally {
+  size_t hits = 0;
+  size_t steps = 0;
+  Status status;
+};
+
+void McmcWorker(const ForeverQuery& query, const Instance& initial,
+                size_t samples, size_t burn_in, Rng rng, McmcTally* tally) {
+  for (size_t i = 0; i < samples; ++i) {
+    Instance state = initial;
+    for (size_t t = 0; t < burn_in; ++t) {
+      auto next = query.kernel.ApplySample(state, &rng);
+      if (!next.ok()) {
+        tally->status = next.status();
+        return;
+      }
+      state = std::move(next).value();
+    }
+    tally->steps += burn_in;
+    if (query.event.Holds(state)) ++tally->hits;
+  }
+}
+
+}  // namespace
+
+StatusOr<McmcResult> McmcForever(const ForeverQuery& query,
+                                 const Instance& initial,
+                                 const McmcParams& params, Rng* rng) {
+  McmcResult result;
+  result.samples = params.SampleCount();
+  const size_t workers =
+      std::max<size_t>(1, std::min(params.threads, result.samples));
+  std::vector<McmcTally> tallies(workers);
+  std::vector<size_t> shares(workers, result.samples / workers);
+  for (size_t w = 0; w < result.samples % workers; ++w) ++shares[w];
+
+  if (workers == 1) {
+    McmcWorker(query, initial, shares[0], params.burn_in, rng->Fork(),
+               &tallies[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (size_t w = 0; w < workers; ++w) {
+      pool.emplace_back(McmcWorker, std::cref(query), std::cref(initial),
+                        shares[w], params.burn_in, rng->Fork(), &tallies[w]);
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  size_t hits = 0;
+  for (const auto& tally : tallies) {
+    PFQL_RETURN_NOT_OK(tally.status);
+    hits += tally.hits;
+    result.total_steps += tally.steps;
+  }
+  result.estimate =
+      static_cast<double>(hits) / static_cast<double>(result.samples);
+  return result;
+}
+
+StatusOr<size_t> MeasureMixingTime(const Interpretation& kernel,
+                                   const Instance& initial, double epsilon,
+                                   const StateSpaceOptions& options,
+                                   size_t max_steps) {
+  PFQL_ASSIGN_OR_RETURN(StateSpace space,
+                        BuildStateSpace(kernel, initial, options));
+  return space.chain.MixingTimeFrom(0, epsilon, max_steps);
+}
+
+StatusOr<size_t> MeasureMixingTimeTV(const Interpretation& kernel,
+                                     const Instance& initial, double epsilon,
+                                     const StateSpaceOptions& options,
+                                     size_t max_steps) {
+  PFQL_ASSIGN_OR_RETURN(StateSpace space,
+                        BuildStateSpace(kernel, initial, options));
+  return space.chain.TvMixingTimeFrom(0, epsilon, max_steps);
+}
+
+}  // namespace eval
+}  // namespace pfql

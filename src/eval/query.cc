@@ -1,0 +1,96 @@
+#include "eval/query.h"
+
+namespace pfql {
+namespace eval {
+
+namespace {
+
+bool ShouldFallBack(const Status& status, Method method) {
+  return method == Method::kAuto &&
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+}  // namespace
+
+StatusOr<QueryResult> EvaluateInflationaryQuery(
+    const datalog::Program& program, const Instance& edb,
+    const QueryEvent& event, const QueryOptions& options, Rng* rng) {
+  if (options.method != Method::kSampling) {
+    size_t nodes = 0;
+    auto exact = ExactInflationary(program, edb, event, options.exact, &nodes);
+    if (exact.ok()) {
+      QueryResult result;
+      result.exact = *exact;
+      result.estimate = exact->ToDouble();
+      result.work = nodes;
+      result.method_used = "exact computation-tree traversal (Prop 4.4)";
+      return result;
+    }
+    if (!ShouldFallBack(exact.status(), options.method)) {
+      return exact.status();
+    }
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("sampling evaluation requires an Rng");
+  }
+  PFQL_ASSIGN_OR_RETURN(
+      ApproxResult approx,
+      ApproxInflationary(program, edb, event, options.approx, rng));
+  QueryResult result;
+  result.estimate = approx.estimate;
+  result.sampled = true;
+  result.work = approx.samples;
+  result.method_used = "Monte Carlo over computation paths (Thm 4.3)";
+  return result;
+}
+
+StatusOr<QueryResult> EvaluateForeverQuery(const ForeverQuery& query,
+                                           const Instance& initial,
+                                           const QueryOptions& options,
+                                           Rng* rng) {
+  if (options.method != Method::kSampling) {
+    auto exact = ExactForever(query, initial, options.state_space);
+    if (exact.ok()) {
+      QueryResult result;
+      result.exact = exact->probability;
+      result.estimate = exact->probability.ToDouble();
+      result.work = exact->num_states;
+      result.method_used =
+          exact->irreducible
+              ? "exact stationary analysis (Prop 5.4)"
+              : "exact absorption + stationary analysis (Thm 5.5)";
+      return result;
+    }
+    if (!ShouldFallBack(exact.status(), options.method)) {
+      return exact.status();
+    }
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("sampling evaluation requires an Rng");
+  }
+  McmcParams params;
+  params.epsilon = options.approx.epsilon;
+  params.delta = options.approx.delta;
+  if (options.mcmc_burn_in.has_value()) {
+    params.burn_in = *options.mcmc_burn_in;
+  } else {
+    // Measuring the mixing time needs the explicit chain; if the state
+    // space did not fit the budget, the caller must supply a burn-in.
+    PFQL_ASSIGN_OR_RETURN(
+        params.burn_in,
+        MeasureMixingTimeTV(query.kernel, initial, params.epsilon / 2,
+                            options.state_space));
+  }
+  PFQL_ASSIGN_OR_RETURN(McmcResult mcmc,
+                        McmcForever(query, initial, params, rng));
+  QueryResult result;
+  result.estimate = mcmc.estimate;
+  result.sampled = true;
+  result.work = mcmc.samples;
+  result.method_used = "MCMC with burn-in " + std::to_string(params.burn_in) +
+                       " (Thm 5.6)";
+  return result;
+}
+
+}  // namespace eval
+}  // namespace pfql

@@ -1,0 +1,72 @@
+// One-call evaluation facade. Downstream code usually wants "give me the
+// probability of this event, exactly if feasible, otherwise a principled
+// estimate" — this header packages the paper's algorithm suite behind that
+// policy:
+//
+//   * inflationary queries: exact computation-tree traversal (Prop 4.4)
+//     within a node budget, falling back to Thm 4.3 Monte Carlo;
+//   * noninflationary queries: exact chain analysis (Prop 5.4 / Thm 5.5)
+//     within a state budget, falling back to Thm 5.6 MCMC with a measured
+//     or caller-provided burn-in.
+#ifndef PFQL_EVAL_QUERY_H_
+#define PFQL_EVAL_QUERY_H_
+
+#include <optional>
+#include <string>
+
+#include "eval/inflationary.h"
+#include "eval/noninflationary.h"
+
+namespace pfql {
+namespace eval {
+
+/// Evaluation strategy selection.
+enum class Method {
+  kAuto,      ///< exact within budget, else sampling
+  kExact,     ///< exact only; error when the budget is exceeded
+  kSampling,  ///< sampling only
+};
+
+/// Combined knobs for the facade.
+struct QueryOptions {
+  Method method = Method::kAuto;
+  /// Accuracy of the sampling fallback.
+  ApproxParams approx;
+  /// Budget for exact inflationary evaluation.
+  datalog::ExactInflationaryOptions exact;
+  /// Budget for exact noninflationary evaluation (state space).
+  StateSpaceOptions state_space;
+  /// Burn-in for MCMC; nullopt = measure the TV mixing time on the explored
+  /// chain (requires the chain to fit in state_space budget and be
+  /// ergodic); queries that exceed the budget need an explicit burn-in.
+  std::optional<size_t> mcmc_burn_in;
+};
+
+/// What the facade computed.
+struct QueryResult {
+  /// Point estimate (exact value converted to double when exact).
+  double estimate = 0.0;
+  /// Present iff the exact algorithm ran to completion.
+  std::optional<BigRational> exact;
+  bool sampled = false;
+  /// Samples drawn (sampling) or states/nodes visited (exact).
+  size_t work = 0;
+  /// Human-readable description of what ran, e.g. "exact (Prop 4.4)".
+  std::string method_used;
+};
+
+/// Pr[event at the inflationary fixpoint of `program` on `edb`].
+StatusOr<QueryResult> EvaluateInflationaryQuery(
+    const datalog::Program& program, const Instance& edb,
+    const QueryEvent& event, const QueryOptions& options, Rng* rng);
+
+/// The Def 3.2 long-run probability of `query.event` from `initial`.
+StatusOr<QueryResult> EvaluateForeverQuery(const ForeverQuery& query,
+                                           const Instance& initial,
+                                           const QueryOptions& options,
+                                           Rng* rng);
+
+}  // namespace eval
+}  // namespace pfql
+
+#endif  // PFQL_EVAL_QUERY_H_

@@ -1,0 +1,55 @@
+#include "eval/trajectory.h"
+
+namespace pfql {
+namespace eval {
+
+StatusOr<TrajectoryResult> TimeAverageEstimate(const Interpretation& kernel,
+                                               const Instance& initial,
+                                               const EventExpr::Ptr& event,
+                                               const TrajectoryParams& params,
+                                               Rng* rng) {
+  if (event == nullptr) return Status::InvalidArgument("null event");
+  if (params.steps == 0 || params.runs == 0) {
+    return Status::InvalidArgument("steps and runs must be positive");
+  }
+  if (params.discard_fraction < 0.0 || params.discard_fraction >= 1.0) {
+    return Status::InvalidArgument("discard_fraction must be in [0, 1)");
+  }
+  const size_t discard =
+      static_cast<size_t>(params.discard_fraction *
+                          static_cast<double>(params.steps));
+
+  TrajectoryResult result;
+  result.per_run.reserve(params.runs);
+  double total = 0.0;
+  for (size_t run = 0; run < params.runs; ++run) {
+    Instance state = initial;
+    size_t hits = 0, counted = 0;
+    for (size_t t = 0; t < params.steps; ++t) {
+      PFQL_ASSIGN_OR_RETURN(state, kernel.ApplySample(state, rng));
+      ++result.total_steps;
+      if (t < discard) continue;
+      PFQL_ASSIGN_OR_RETURN(bool holds, event->Holds(state));
+      ++counted;
+      if (holds) ++hits;
+    }
+    const double avg =
+        counted == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(counted);
+    result.per_run.push_back(avg);
+    total += avg;
+  }
+  result.estimate = total / static_cast<double>(params.runs);
+  return result;
+}
+
+StatusOr<TrajectoryResult> TimeAverageEstimate(const ForeverQuery& query,
+                                               const Instance& initial,
+                                               const TrajectoryParams& params,
+                                               Rng* rng) {
+  return TimeAverageEstimate(query.kernel, initial,
+                             EventExpr::From(query.event), params, rng);
+}
+
+}  // namespace eval
+}  // namespace pfql

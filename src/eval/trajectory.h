@@ -1,0 +1,61 @@
+// Def 3.2 taken literally: the query result is the limiting *time average*
+//
+//   Pr(s) = lim_k Σ_{seq, len k} Pr(seq) · |{i : s_i = s}| / k
+//
+// of an infinite random walk. This module estimates that quantity directly
+// by simulating trajectories and averaging the event indicator over time —
+// no chain materialization, no burn-in calibration. Per run, the time
+// average converges (a.s.) to the stationary event mass of the bottom SCC
+// the walk is absorbed in; averaging over independent runs therefore
+// converges to the Thm 5.5 value even for reducible chains. Slower than
+// Thm 5.6's restart sampler on fast-mixing chains, but assumption-free —
+// and it doubles as a fidelity check that the paper's limit semantics and
+// the chain-analytic semantics agree.
+#ifndef PFQL_EVAL_TRAJECTORY_H_
+#define PFQL_EVAL_TRAJECTORY_H_
+
+#include <vector>
+
+#include "lang/event.h"
+#include "lang/interpretation.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace eval {
+
+struct TrajectoryParams {
+  /// Steps per trajectory (the "k" of the Cesàro limit).
+  size_t steps = 1000;
+  /// Independent trajectories to average (covers reducible chains).
+  size_t runs = 16;
+  /// Initial fraction of each trajectory to discard before averaging
+  /// (reduces the O(1/k) initialization bias); in [0, 1).
+  double discard_fraction = 0.1;
+};
+
+struct TrajectoryResult {
+  /// Mean over runs of the per-run time average.
+  double estimate = 0.0;
+  /// Per-run time averages (useful to see multimodality from reducibility).
+  std::vector<double> per_run;
+  size_t total_steps = 0;
+};
+
+/// Time-average estimate of a general-event forever query.
+StatusOr<TrajectoryResult> TimeAverageEstimate(const Interpretation& kernel,
+                                               const Instance& initial,
+                                               const EventExpr::Ptr& event,
+                                               const TrajectoryParams& params,
+                                               Rng* rng);
+
+/// Convenience overload for the canonical tuple-membership event.
+StatusOr<TrajectoryResult> TimeAverageEstimate(const ForeverQuery& query,
+                                               const Instance& initial,
+                                               const TrajectoryParams& params,
+                                               Rng* rng);
+
+}  // namespace eval
+}  // namespace pfql
+
+#endif  // PFQL_EVAL_TRAJECTORY_H_

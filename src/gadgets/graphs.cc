@@ -1,0 +1,267 @@
+#include "gadgets/graphs.h"
+
+#include <cmath>
+
+namespace pfql {
+namespace gadgets {
+
+namespace {
+
+Value WeightValue(double w) {
+  // Integral weights stored exactly as ints keeps repair-key arithmetic
+  // exact (1/3 instead of a dyadic approximation of 0.333...).
+  if (w == std::floor(w) && std::fabs(w) < 9e15) {
+    return Value(static_cast<int64_t>(w));
+  }
+  return Value(w);
+}
+
+}  // namespace
+
+Relation Graph::ToEdgeRelation() const {
+  Relation e(Schema({"i", "j", "p"}));
+  for (const auto& edge : edges) {
+    e.Insert(Tuple{Value(edge.from), Value(edge.to), WeightValue(edge.weight)});
+  }
+  return e;
+}
+
+bool Graph::EveryNodeHasOutEdge() const {
+  std::vector<bool> has(num_nodes, false);
+  for (const auto& e : edges) {
+    if (e.from >= 0 && e.from < num_nodes) has[e.from] = true;
+  }
+  for (bool h : has) {
+    if (!h) return false;
+  }
+  return true;
+}
+
+Graph Cycle(int64_t n, bool lazy) {
+  Graph g;
+  g.num_nodes = n;
+  for (int64_t i = 0; i < n; ++i) {
+    g.edges.push_back({i, (i + 1) % n, 1.0});
+    if (lazy) g.edges.push_back({i, i, 1.0});
+  }
+  return g;
+}
+
+Graph Complete(int64_t n) {
+  Graph g;
+  g.num_nodes = n;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      g.edges.push_back({i, j, 1.0});
+    }
+  }
+  return g;
+}
+
+Graph Line(int64_t n) {
+  Graph g;
+  g.num_nodes = n;
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    g.edges.push_back({i, i + 1, 1.0});
+  }
+  g.edges.push_back({n - 1, n - 1, 1.0});
+  return g;
+}
+
+Graph Barbell(int64_t n) {
+  Graph g;
+  g.num_nodes = 2 * n + 1;  // clique A: 0..n-1, bridge: n, clique B: n+1..2n
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      g.edges.push_back({i, j, 1.0});
+      g.edges.push_back({n + 1 + i, n + 1 + j, 1.0});
+    }
+  }
+  // Bridge node connects the cliques (bidirectional, plus a self-loop).
+  g.edges.push_back({n - 1, n, 1.0});
+  g.edges.push_back({n, n - 1, 1.0});
+  g.edges.push_back({n, n + 1, 1.0});
+  g.edges.push_back({n + 1, n, 1.0});
+  g.edges.push_back({n, n, 1.0});
+  return g;
+}
+
+Graph Hypercube(int64_t dimensions) {
+  Graph g;
+  g.num_nodes = int64_t{1} << dimensions;
+  for (int64_t v = 0; v < g.num_nodes; ++v) {
+    // Lazy walk: self-loop weight d matches the total flip weight.
+    g.edges.push_back({v, v, static_cast<double>(dimensions)});
+    for (int64_t b = 0; b < dimensions; ++b) {
+      g.edges.push_back({v, v ^ (int64_t{1} << b), 1.0});
+    }
+  }
+  return g;
+}
+
+Graph RandomDigraph(int64_t n, double p, Rng* rng) {
+  Graph g;
+  g.num_nodes = n;
+  for (int64_t i = 0; i < n; ++i) {
+    g.edges.push_back({i, i, 1.0});
+    for (int64_t j = 0; j < n; ++j) {
+      if (i != j && rng->NextBernoulli(p)) {
+        g.edges.push_back({i, j, 1.0});
+      }
+    }
+  }
+  return g;
+}
+
+Graph Grid(int64_t rows, int64_t cols, bool torus) {
+  Graph g;
+  g.num_nodes = rows * cols;
+  auto id = [cols](int64_t r, int64_t c) { return r * cols + c; };
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      g.edges.push_back({id(r, c), id(r, c), 1.0});  // lazy self-loop
+      const int64_t dr[] = {-1, 1, 0, 0}, dc[] = {0, 0, -1, 1};
+      for (int k = 0; k < 4; ++k) {
+        int64_t nr = r + dr[k], nc = c + dc[k];
+        if (torus) {
+          nr = (nr + rows) % rows;
+          nc = (nc + cols) % cols;
+        } else if (nr < 0 || nr >= rows || nc < 0 || nc >= cols) {
+          continue;
+        }
+        g.edges.push_back({id(r, c), id(nr, nc), 1.0});
+      }
+    }
+  }
+  return g;
+}
+
+Graph Star(int64_t n) {
+  Graph g;
+  g.num_nodes = n;
+  for (int64_t v = 0; v < n; ++v) {
+    g.edges.push_back({v, v, 1.0});
+  }
+  for (int64_t leaf = 1; leaf < n; ++leaf) {
+    g.edges.push_back({0, leaf, 1.0});
+    g.edges.push_back({leaf, 0, 1.0});
+  }
+  return g;
+}
+
+StatusOr<WalkQuery> RandomWalkQuery(const Graph& graph, int64_t start) {
+  if (start < 0 || start >= graph.num_nodes) {
+    return Status::OutOfRange("start node out of range");
+  }
+  if (!graph.EveryNodeHasOutEdge()) {
+    return Status::InvalidArgument(
+        "random walk requires every node to have an outgoing edge");
+  }
+  WalkQuery wq;
+  Relation cursor(Schema({"i"}));
+  cursor.Insert(Tuple{Value(start)});
+  wq.initial.Set("cur", std::move(cursor));
+  wq.initial.Set("e", graph.ToEdgeRelation());
+
+  // cur := ρ_{j→i} π_j (repair-key_{i}@p (cur ⋈ e))
+  RepairKeySpec spec;
+  spec.key_columns = {"i"};
+  spec.weight_column = "p";
+  RaExpr::Ptr step = RaExpr::Join(RaExpr::Base("cur"), RaExpr::Base("e"));
+  step = RaExpr::RepairKey(std::move(step), spec);
+  step = RaExpr::Project(std::move(step), {"j"});
+  step = RaExpr::Rename(std::move(step), {{"j", "i"}});
+  wq.kernel.Define("cur", std::move(step));
+  return wq;
+}
+
+StatusOr<WalkQuery> PageRankQuery(const Graph& graph, int64_t start,
+                                  double alpha) {
+  if (alpha <= 0.0 || alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  PFQL_ASSIGN_OR_RETURN(WalkQuery wq, RandomWalkQuery(graph, start));
+  RaExpr::Ptr follow = wq.kernel.queries().at("cur");
+
+  // V: all graph nodes, from the edge relation.
+  RaExpr::Ptr nodes = RaExpr::Union(
+      RaExpr::Project(RaExpr::Base("e"), {"i"}),
+      RaExpr::Rename(RaExpr::Project(RaExpr::Base("e"), {"j"}),
+                     {{"j", "i"}}));
+  // One uniformly random node (repair-key with empty key).
+  RaExpr::Ptr jump = RaExpr::RepairKey(std::move(nodes), RepairKeySpec{});
+
+  // Choose: follow with weight 1-alpha, jump with weight alpha.
+  // (Weights are scaled to integers out of 1000 so exact state-space
+  // arithmetic stays exact for round alphas like 0.15.)
+  const int64_t alpha_scaled = static_cast<int64_t>(std::lround(alpha * 1000));
+  RaExpr::Ptr follow_w = RaExpr::Extend(
+      std::move(follow), "p", ScalarExpr::Const(Value(1000 - alpha_scaled)));
+  RaExpr::Ptr jump_w = RaExpr::Extend(std::move(jump), "p",
+                                      ScalarExpr::Const(Value(alpha_scaled)));
+  RepairKeySpec choose;
+  choose.weight_column = "p";
+  RaExpr::Ptr chosen = RaExpr::RepairKey(
+      RaExpr::Union(std::move(follow_w), std::move(jump_w)), choose);
+  wq.kernel.Define("cur", RaExpr::Project(std::move(chosen), {"i"}));
+  return wq;
+}
+
+QueryEvent WalkAtNode(int64_t node) { return {"cur", Tuple{Value(node)}}; }
+
+StatusOr<ReachabilityGadget> ReachabilityProgram(const Graph& graph,
+                                                 int64_t start,
+                                                 int64_t target,
+                                                 bool weighted) {
+  if (start < 0 || start >= graph.num_nodes || target < 0 ||
+      target >= graph.num_nodes) {
+    return Status::OutOfRange("start or target node out of range");
+  }
+  using datalog::Program;
+  using datalog::Rule;
+  using datalog::Term;
+
+  ReachabilityGadget out;
+  out.edb.Set("e", graph.ToEdgeRelation());
+
+  std::vector<Rule> rules;
+  {
+    Rule fact;  // cur(start).
+    fact.head.predicate = "cur";
+    fact.head.terms = {Term::Const(Value(start))};
+    fact.head.is_key = {true};
+    rules.push_back(std::move(fact));
+  }
+  {
+    Rule choose;  // c2(<X>, Y) [@P] :- cur(X), e(X, Y, P).
+    choose.head.predicate = "c2";
+    choose.head.terms = {Term::Var("X"), Term::Var("Y")};
+    choose.head.is_key = {true, false};
+    if (weighted) choose.head.weight_var = "P";
+    datalog::Atom cur_atom;
+    cur_atom.predicate = "cur";
+    cur_atom.terms = {Term::Var("X")};
+    datalog::Atom e_atom;
+    e_atom.predicate = "e";
+    e_atom.terms = {Term::Var("X"), Term::Var("Y"), Term::Var("P")};
+    choose.body = {cur_atom, e_atom};
+    rules.push_back(std::move(choose));
+  }
+  {
+    Rule advance;  // cur(Y) :- c2(X, Y).
+    advance.head.predicate = "cur";
+    advance.head.terms = {Term::Var("Y")};
+    advance.head.is_key = {true};
+    datalog::Atom c2_atom;
+    c2_atom.predicate = "c2";
+    c2_atom.terms = {Term::Var("X"), Term::Var("Y")};
+    advance.body = {c2_atom};
+    rules.push_back(std::move(advance));
+  }
+  PFQL_ASSIGN_OR_RETURN(out.program, Program::Make(std::move(rules)));
+  out.event = {"cur", Tuple{Value(target)}};
+  return out;
+}
+
+}  // namespace gadgets
+}  // namespace pfql

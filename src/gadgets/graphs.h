@@ -1,0 +1,101 @@
+// Weighted directed graphs, graph-family generators, and the paper's
+// Example 3.3 kernels: the random-walk forever-query and the PageRank
+// forever-query, plus the Example 3.5/3.9 reachability programs.
+#ifndef PFQL_GADGETS_GRAPHS_H_
+#define PFQL_GADGETS_GRAPHS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datalog/program.h"
+#include "lang/interpretation.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace gadgets {
+
+/// A weighted directed edge.
+struct Edge {
+  int64_t from;
+  int64_t to;
+  double weight = 1.0;
+};
+
+/// A weighted digraph on nodes 0..num_nodes-1.
+struct Graph {
+  int64_t num_nodes = 0;
+  std::vector<Edge> edges;
+
+  /// E(i, j, p) relation (schema {"i", "j", "p"}).
+  Relation ToEdgeRelation() const;
+  /// Every node has at least one outgoing edge (needed for random walks).
+  bool EveryNodeHasOutEdge() const;
+};
+
+// ---- Generators ------------------------------------------------------
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0. Mixing requires aperiodicity:
+/// with `lazy` each node also has a self-loop of equal weight.
+Graph Cycle(int64_t n, bool lazy = false);
+/// Complete digraph with self-loops (uniform weights): mixes in one step.
+Graph Complete(int64_t n);
+/// Path 0 -> 1 -> ... -> n-1 with a self-loop at the end (absorbing-ish).
+Graph Line(int64_t n);
+/// Two complete graphs of size n joined by a single path of length 3
+/// (a classic slow-mixing "barbell").
+Graph Barbell(int64_t n);
+/// Lazy random walk on the d-dimensional hypercube (2^d nodes): each step
+/// stays put with probability 1/2 or flips a uniform coordinate.
+Graph Hypercube(int64_t dimensions);
+/// Erdős–Rényi-style digraph: each ordered pair (i,j), i != j, gets an edge
+/// with probability p; every node additionally gets a self-loop so walks
+/// are total and aperiodic.
+Graph RandomDigraph(int64_t n, double p, Rng* rng);
+/// rows×cols lazy grid: each cell keeps a self-loop and steps to its
+/// 4-neighbours (torus wrap-around when `torus`).
+Graph Grid(int64_t rows, int64_t cols, bool torus = false);
+/// Star: hub 0 connected both ways to n-1 leaves, self-loops everywhere
+/// (lazy, so the walk is aperiodic).
+Graph Star(int64_t n);
+
+// ---- Example 3.3: random walk ------------------------------------------
+/// Builds the forever-query kernel
+///   C := ρ_I π_J (repair-key_I@P (C ⋈ E))
+/// over EDB E(i, j, p) and cursor C(i). The returned initial instance
+/// contains E and C = {start}.
+struct WalkQuery {
+  Interpretation kernel;
+  Instance initial;
+};
+StatusOr<WalkQuery> RandomWalkQuery(const Graph& graph, int64_t start);
+
+/// Example 3.3 (variant): the PageRank kernel with dampening factor alpha —
+/// with probability 1-alpha follow a random out-edge, with probability alpha
+/// jump to a uniformly random node.
+StatusOr<WalkQuery> PageRankQuery(const Graph& graph, int64_t start,
+                                  double alpha);
+
+/// The event "the walk cursor is at `node`" for the above kernels.
+QueryEvent WalkAtNode(int64_t node);
+
+// ---- Examples 3.5 / 3.9: probabilistic reachability ---------------------
+/// The probabilistic-datalog reachability program (Example 3.9):
+///   cur(start).
+///   c2(<X>, Y) :- cur(X), e(X, Y, P).     % choose one successor per node
+///   cur(Y) :- c2(X, Y).
+/// Weighted variant: c2(<X>, Y) @P :- cur(X), e(X, Y, P).
+/// Query event: `target` was eventually reached.
+struct ReachabilityGadget {
+  datalog::Program program;
+  Instance edb;
+  QueryEvent event;
+};
+StatusOr<ReachabilityGadget> ReachabilityProgram(const Graph& graph,
+                                                 int64_t start,
+                                                 int64_t target,
+                                                 bool weighted = true);
+
+}  // namespace gadgets
+}  // namespace pfql
+
+#endif  // PFQL_GADGETS_GRAPHS_H_

@@ -1,0 +1,129 @@
+#include "gadgets/mcmc.h"
+
+#include <set>
+
+namespace pfql {
+namespace gadgets {
+
+namespace {
+
+// Symmetric, loop-free edge pairs.
+StatusOr<std::set<std::pair<int64_t, int64_t>>> SymmetricEdges(
+    const Graph& graph) {
+  std::set<std::pair<int64_t, int64_t>> edges;
+  for (const auto& e : graph.edges) {
+    if (e.from == e.to) {
+      return Status::InvalidArgument(
+          "self-loop at vertex " + std::to_string(e.from) +
+          "; the hard-core model needs a simple graph");
+    }
+    if (e.from < 0 || e.from >= graph.num_nodes || e.to < 0 ||
+        e.to >= graph.num_nodes) {
+      return Status::OutOfRange("edge endpoint out of range");
+    }
+    edges.emplace(e.from, e.to);
+    edges.emplace(e.to, e.from);
+  }
+  return edges;
+}
+
+}  // namespace
+
+StatusOr<GlauberQuery> IndependentSetGlauber(const Graph& graph) {
+  if (graph.num_nodes <= 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  PFQL_ASSIGN_OR_RETURN(auto edges, SymmetricEdges(graph));
+
+  GlauberQuery gq;
+
+  // Base relations.
+  Relation vset(Schema({"v"}));
+  for (int64_t v = 0; v < graph.num_nodes; ++v) vset.Insert(Tuple{Value(v)});
+  Relation edge(Schema({"i", "j"}));
+  for (const auto& [i, j] : edges) edge.Insert(Tuple{Value(i), Value(j)});
+  Relation in(Schema({"v"}));      // start from the empty independent set
+  Relation pick(Schema({"v"}));
+  pick.Insert(Tuple{Value(int64_t{0})});  // arbitrary initial pick
+  gq.initial.Set("vset", std::move(vset));
+  gq.initial.Set("edge", std::move(edge));
+  gq.initial.Set("in", std::move(in));
+  gq.initial.Set("pick", std::move(pick));
+
+  // pick := repair-key(vset): one uniformly random vertex.
+  gq.kernel.Define("pick",
+                   RaExpr::RepairKey(RaExpr::Base("vset"), RepairKeySpec{}));
+
+  // allowed := {()} − π_∅(ρ_{v→i}(pick) ⋈ edge ⋈ ρ_{v→j}(in)).
+  RaExpr::Ptr neighbor_in_set = RaExpr::Project(
+      RaExpr::Join(
+          RaExpr::Join(RaExpr::Rename(RaExpr::Base("pick"), {{"v", "i"}}),
+                       RaExpr::Base("edge")),
+          RaExpr::Rename(RaExpr::Base("in"), {{"v", "j"}})),
+      {});
+  Relation nullary{Schema{}};
+  nullary.Insert(Tuple{});
+  RaExpr::Ptr allowed =
+      RaExpr::Difference(RaExpr::Const(std::move(nullary)), neighbor_in_set);
+
+  // in := (in − pick) ∪ ((pick − in) × allowed).
+  RaExpr::Ptr removed =
+      RaExpr::Difference(RaExpr::Base("in"), RaExpr::Base("pick"));
+  RaExpr::Ptr added = RaExpr::Product(
+      RaExpr::Difference(RaExpr::Base("pick"), RaExpr::Base("in")),
+      std::move(allowed));
+  gq.kernel.Define("in", RaExpr::Union(std::move(removed), std::move(added)));
+  return gq;
+}
+
+QueryEvent VertexInSet(int64_t v) { return {"in", Tuple{Value(v)}}; }
+
+namespace {
+
+StatusOr<std::vector<uint32_t>> AdjacencyMasks(const Graph& graph) {
+  if (graph.num_nodes > 30) {
+    return Status::ResourceExhausted(
+        "brute-force independent-set counting limited to 30 vertices");
+  }
+  PFQL_ASSIGN_OR_RETURN(auto edges, SymmetricEdges(graph));
+  std::vector<uint32_t> adj(graph.num_nodes, 0);
+  for (const auto& [i, j] : edges) {
+    adj[i] |= uint32_t{1} << j;
+  }
+  return adj;
+}
+
+uint64_t CountWithMask(const std::vector<uint32_t>& adj, uint32_t must_have) {
+  const size_t n = adj.size();
+  uint64_t count = 0;
+  for (uint32_t s = 0; s < (uint32_t{1} << n); ++s) {
+    if ((s & must_have) != must_have) continue;
+    bool independent = true;
+    for (size_t v = 0; v < n && independent; ++v) {
+      if ((s >> v) & 1) {
+        independent = (s & adj[v]) == 0;
+      }
+    }
+    if (independent) ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+StatusOr<uint64_t> CountIndependentSets(const Graph& graph) {
+  PFQL_ASSIGN_OR_RETURN(auto adj, AdjacencyMasks(graph));
+  return CountWithMask(adj, 0);
+}
+
+StatusOr<uint64_t> CountIndependentSetsContaining(const Graph& graph,
+                                                  int64_t v) {
+  if (v < 0 || v >= graph.num_nodes) {
+    return Status::OutOfRange("vertex out of range");
+  }
+  PFQL_ASSIGN_OR_RETURN(auto adj, AdjacencyMasks(graph));
+  return CountWithMask(adj, uint32_t{1} << v);
+}
+
+}  // namespace gadgets
+}  // namespace pfql

@@ -1,0 +1,49 @@
+// Declarative MCMC (the application class motivating the paper's intro):
+// Glauber dynamics for the hard-core model — a random walk over the
+// independent sets of a graph — expressed as a forever-query kernel.
+//
+// State relations: in(v) (the current independent set) and pick(v) (the
+// vertex sampled for the next toggle). Each step the kernel
+//   pick := repair-key(vset)                         -- uniform vertex
+//   in   := (in − pick) ∪ ((pick − in) × allowed)    -- toggle if legal
+// where `allowed` is the 0-ary check that pick has no neighbor in `in`.
+// (Both updates read the old state, so `in` toggles the vertex drawn on the
+// previous step — an i.i.d. uniform vertex, which is exactly Glauber
+// dynamics.) The chain is ergodic and its stationary distribution is
+// uniform over independent sets, so the forever-query "v ∈ in" evaluates
+// to  #{independent sets containing v} / #{independent sets}.
+#ifndef PFQL_GADGETS_MCMC_H_
+#define PFQL_GADGETS_MCMC_H_
+
+#include "gadgets/graphs.h"
+#include "lang/interpretation.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace gadgets {
+
+/// Kernel + initial instance of the Glauber walk. The graph is read as
+/// undirected (edges are symmetrized); self-loops are rejected (a vertex
+/// adjacent to itself admits no independent set containing it anyway, and
+/// would make the dynamics degenerate).
+struct GlauberQuery {
+  Interpretation kernel;
+  Instance initial;
+};
+
+StatusOr<GlauberQuery> IndependentSetGlauber(const Graph& graph);
+
+/// The event "vertex v is in the current independent set".
+QueryEvent VertexInSet(int64_t v);
+
+/// Brute-force ground truth: number of independent sets of `graph`
+/// (counting the empty set). Limited to 30 vertices.
+StatusOr<uint64_t> CountIndependentSets(const Graph& graph);
+/// ... and the number that contain `v`.
+StatusOr<uint64_t> CountIndependentSetsContaining(const Graph& graph,
+                                                  int64_t v);
+
+}  // namespace gadgets
+}  // namespace pfql
+
+#endif  // PFQL_GADGETS_MCMC_H_

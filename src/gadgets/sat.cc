@@ -1,0 +1,310 @@
+#include "gadgets/sat.h"
+
+#include <algorithm>
+
+namespace pfql {
+namespace gadgets {
+
+namespace {
+
+std::string LitName(const SatLiteral& lit) {
+  return (lit.positive ? "p" : "n") + std::to_string(lit.variable);
+}
+std::string VarName(size_t i) { return "x" + std::to_string(i); }
+std::string ClauseName(size_t i) { return "c" + std::to_string(i); }
+
+using datalog::Atom;
+using datalog::Head;
+using datalog::Program;
+using datalog::Rule;
+using datalog::Term;
+
+Rule Fact(const std::string& pred, std::vector<Value> constants) {
+  Rule rule;
+  rule.head.predicate = pred;
+  for (auto& v : constants) {
+    rule.head.terms.push_back(Term::Const(std::move(v)));
+    rule.head.is_key.push_back(true);  // ground facts are deterministic
+  }
+  return rule;
+}
+
+Atom MakeAtom(const std::string& pred, std::vector<Term> terms) {
+  Atom atom;
+  atom.predicate = pred;
+  atom.terms = std::move(terms);
+  return atom;
+}
+
+// Shared EDB: C(clause, literal) and O(prev, next) with a virtual start
+// clause c0 and clauses c1..cm.
+Instance ClauseEdb(const CnfFormula& f) {
+  Instance edb;
+  Relation c(Schema({"clause", "lit"}));
+  for (size_t i = 0; i < f.clauses.size(); ++i) {
+    for (const auto& lit : f.clauses[i]) {
+      c.Insert(Tuple{Value(ClauseName(i + 1)), Value(LitName(lit))});
+    }
+  }
+  Relation o(Schema({"prev", "next"}));
+  for (size_t i = 0; i < f.clauses.size(); ++i) {
+    o.Insert(Tuple{Value(ClauseName(i)), Value(ClauseName(i + 1))});
+  }
+  edb.Set("c", std::move(c));
+  edb.Set("o", std::move(o));
+  return edb;
+}
+
+// The pc-table A(L): literal p<i> present iff x_i = 1, n<i> iff x_i = 0,
+// with Pr[x_i = 1] = 1/2, all variables independent.
+Status BuildLiteralPC(const CnfFormula& f, PCDatabase* pc) {
+  for (size_t i = 0; i < f.num_variables; ++i) {
+    PFQL_RETURN_NOT_OK(pc->AddBooleanVariable(VarName(i), BigRational(1, 2)));
+  }
+  CTable a;
+  a.schema = Schema({"lit"});
+  for (size_t i = 0; i < f.num_variables; ++i) {
+    a.rows.push_back({Tuple{Value(LitName({i, true}))},
+                      Condition::Eq(VarName(i), Value(int64_t{1}))});
+    a.rows.push_back({Tuple{Value(LitName({i, false}))},
+                      Condition::Eq(VarName(i), Value(int64_t{0}))});
+  }
+  return pc->AddTable("a", std::move(a));
+}
+
+}  // namespace
+
+bool CnfFormula::Satisfies(const std::vector<bool>& assignment) const {
+  for (const auto& clause : clauses) {
+    bool ok = false;
+    for (const auto& lit : clause) {
+      if (assignment[lit.variable] == lit.positive) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+uint64_t CnfFormula::CountSatisfying() const {
+  uint64_t count = 0;
+  std::vector<bool> assignment(num_variables, false);
+  const uint64_t total = 1ULL << num_variables;
+  for (uint64_t mask = 0; mask < total; ++mask) {
+    for (size_t i = 0; i < num_variables; ++i) {
+      assignment[i] = (mask >> i) & 1;
+    }
+    if (Satisfies(assignment)) ++count;
+  }
+  return count;
+}
+
+std::string CnfFormula::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += "(";
+    for (size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j > 0) out += " | ";
+      if (!clauses[i][j].positive) out += "!";
+      out += "v" + std::to_string(clauses[i][j].variable);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+CnfFormula RandomCnf(size_t num_variables, size_t num_clauses,
+                     size_t literals_per_clause, Rng* rng) {
+  CnfFormula f;
+  f.num_variables = num_variables;
+  const size_t k = std::min(literals_per_clause, num_variables);
+  for (size_t c = 0; c < num_clauses; ++c) {
+    std::vector<SatLiteral> clause;
+    std::vector<size_t> vars;
+    while (vars.size() < k) {
+      size_t v = rng->NextIndex(num_variables);
+      if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+        vars.push_back(v);
+      }
+    }
+    for (size_t v : vars) {
+      clause.push_back({v, rng->NextBernoulli(0.5)});
+    }
+    f.clauses.push_back(std::move(clause));
+  }
+  return f;
+}
+
+CnfFormula AllTrueCnf(size_t num_variables) {
+  CnfFormula f;
+  f.num_variables = num_variables;
+  for (size_t i = 0; i < num_variables; ++i) {
+    f.clauses.push_back({{i, true}});
+  }
+  return f;
+}
+
+CnfFormula AllFalseCnf(size_t num_variables) {
+  CnfFormula f;
+  f.num_variables = num_variables;
+  for (size_t i = 0; i < num_variables; ++i) {
+    f.clauses.push_back({{i, false}});
+  }
+  return f;
+}
+
+CnfFormula UnsatCnf() {
+  CnfFormula f;
+  f.num_variables = 1;
+  f.clauses.push_back({{0, true}});
+  f.clauses.push_back({{0, false}});
+  return f;
+}
+
+StatusOr<SatGadget> InflationarySatGadgetPC(const CnfFormula& f) {
+  SatGadget gadget;
+  gadget.certain_edb = ClauseEdb(f);
+  PFQL_RETURN_NOT_OK(BuildLiteralPC(f, &gadget.pc));
+
+  // r(c0).
+  // r(C2) :- r(C1), o(C1, C2), c(C2, L), a(L).
+  // done(yes) :- r(cm).
+  std::vector<Rule> rules;
+  rules.push_back(Fact("r", {Value(ClauseName(0))}));
+  {
+    Rule rule;
+    rule.head.predicate = "r";
+    rule.head.terms = {Term::Var("C2")};
+    rule.head.is_key = {true};
+    rule.body = {MakeAtom("r", {Term::Var("C1")}),
+                 MakeAtom("o", {Term::Var("C1"), Term::Var("C2")}),
+                 MakeAtom("c", {Term::Var("C2"), Term::Var("L")}),
+                 MakeAtom("a", {Term::Var("L")})};
+    rules.push_back(std::move(rule));
+  }
+  {
+    Rule rule;
+    rule.head.predicate = "done";
+    rule.head.terms = {Term::Const(Value("yes"))};
+    rule.head.is_key = {true};
+    rule.body = {MakeAtom("r", {Term::Const(Value(
+        ClauseName(f.clauses.size())))})};
+    rules.push_back(std::move(rule));
+  }
+  PFQL_ASSIGN_OR_RETURN(gadget.program, Program::Make(std::move(rules)));
+  gadget.event = {"done", Tuple{Value("yes")}};
+  return gadget;
+}
+
+StatusOr<SatGadget> InflationarySatGadgetRepairKey(const CnfFormula& f) {
+  SatGadget gadget;
+  gadget.certain_edb = ClauseEdb(f);
+
+  // Alternatives table atbl(I, L, W) with uniform weights.
+  Relation atbl(Schema({"i", "lit", "w"}));
+  for (size_t i = 0; i < f.num_variables; ++i) {
+    atbl.Insert(Tuple{Value(static_cast<int64_t>(i)),
+                      Value(LitName({i, true})), Value(int64_t{1})});
+    atbl.Insert(Tuple{Value(static_cast<int64_t>(i)),
+                      Value(LitName({i, false})), Value(int64_t{1})});
+  }
+  gadget.certain_edb.Set("atbl", std::move(atbl));
+
+  // a(<I>, L) @W :- atbl(I, L, W).     -- repair-key on a base relation
+  // r(c0).
+  // r(C2) :- r(C1), o(C1, C2), c(C2, L), a(I, L).
+  // done(yes) :- r(cm).
+  std::vector<Rule> rules;
+  {
+    Rule rule;
+    rule.head.predicate = "a";
+    rule.head.terms = {Term::Var("I"), Term::Var("L")};
+    rule.head.is_key = {true, false};
+    rule.head.weight_var = "W";
+    rule.body = {
+        MakeAtom("atbl", {Term::Var("I"), Term::Var("L"), Term::Var("W")})};
+    rules.push_back(std::move(rule));
+  }
+  rules.push_back(Fact("r", {Value(ClauseName(0))}));
+  {
+    Rule rule;
+    rule.head.predicate = "r";
+    rule.head.terms = {Term::Var("C2")};
+    rule.head.is_key = {true};
+    rule.body = {MakeAtom("r", {Term::Var("C1")}),
+                 MakeAtom("o", {Term::Var("C1"), Term::Var("C2")}),
+                 MakeAtom("c", {Term::Var("C2"), Term::Var("L")}),
+                 MakeAtom("a", {Term::Var("I"), Term::Var("L")})};
+    rules.push_back(std::move(rule));
+  }
+  {
+    Rule rule;
+    rule.head.predicate = "done";
+    rule.head.terms = {Term::Const(Value("yes"))};
+    rule.head.is_key = {true};
+    rule.body = {MakeAtom("r", {Term::Const(Value(
+        ClauseName(f.clauses.size())))})};
+    rules.push_back(std::move(rule));
+  }
+  PFQL_ASSIGN_OR_RETURN(gadget.program, Program::Make(std::move(rules)));
+  gadget.event = {"done", Tuple{Value("yes")}};
+  return gadget;
+}
+
+StatusOr<SatGadget> NonInflationarySatGadgetPC(const CnfFormula& f) {
+  SatGadget gadget;
+  gadget.certain_edb = ClauseEdb(f);
+  PFQL_RETURN_NOT_OK(BuildLiteralPC(f, &gadget.pc));
+
+  // r(c0, L) :- a(L).
+  // r(C2, L) :- r(C1, L), r(C1, Lp), o(C1, C2), c(C2, Lp).
+  // done(yes) :- r(cm, L).
+  // done(X) :- done(X).
+  std::vector<Rule> rules;
+  {
+    Rule rule;
+    rule.head.predicate = "r";
+    rule.head.terms = {Term::Const(Value(ClauseName(0))), Term::Var("L")};
+    rule.head.is_key = {true, true};
+    rule.body = {MakeAtom("a", {Term::Var("L")})};
+    rules.push_back(std::move(rule));
+  }
+  {
+    Rule rule;
+    rule.head.predicate = "r";
+    rule.head.terms = {Term::Var("C2"), Term::Var("L")};
+    rule.head.is_key = {true, true};
+    rule.body = {MakeAtom("r", {Term::Var("C1"), Term::Var("L")}),
+                 MakeAtom("r", {Term::Var("C1"), Term::Var("Lp")}),
+                 MakeAtom("o", {Term::Var("C1"), Term::Var("C2")}),
+                 MakeAtom("c", {Term::Var("C2"), Term::Var("Lp")})};
+    rules.push_back(std::move(rule));
+  }
+  {
+    Rule rule;
+    rule.head.predicate = "done";
+    rule.head.terms = {Term::Const(Value("yes"))};
+    rule.head.is_key = {true};
+    rule.body = {MakeAtom(
+        "r", {Term::Const(Value(ClauseName(f.clauses.size()))),
+              Term::Var("L")})};
+    rules.push_back(std::move(rule));
+  }
+  {
+    Rule rule;
+    rule.head.predicate = "done";
+    rule.head.terms = {Term::Var("X")};
+    rule.head.is_key = {true};
+    rule.body = {MakeAtom("done", {Term::Var("X")})};
+    rules.push_back(std::move(rule));
+  }
+  PFQL_ASSIGN_OR_RETURN(gadget.program, Program::Make(std::move(rules)));
+  gadget.event = {"done", Tuple{Value("yes")}};
+  return gadget;
+}
+
+}  // namespace gadgets
+}  // namespace pfql

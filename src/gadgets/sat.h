@@ -1,0 +1,86 @@
+// 3-SAT machinery and the paper's two reduction gadgets:
+//  * Thm 4.1: 3-CNF -> inflationary (linear) datalog + probabilistic input,
+//    with query probability  p = #sat(F) / 2^n  (Lemma 4.2: p >= 2^-n iff
+//    F satisfiable, p = 0 otherwise);
+//  * Thm 5.1: 3-CNF -> noninflationary datalog, with query probability 1 if
+//    F is satisfiable and 0 otherwise (Lemma 5.2).
+// Both variants of each construction are provided: (2') probabilistic
+// c-table input without repair-key, and (2) repair-key on a base relation.
+#ifndef PFQL_GADGETS_SAT_H_
+#define PFQL_GADGETS_SAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datalog/program.h"
+#include "lang/interpretation.h"
+#include "prob/ctable.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace gadgets {
+
+/// A literal: variable index (0-based) and polarity.
+struct SatLiteral {
+  size_t variable;
+  bool positive;
+};
+
+/// A CNF formula (clauses of literals; 3 literals for 3-CNF).
+struct CnfFormula {
+  size_t num_variables = 0;
+  std::vector<std::vector<SatLiteral>> clauses;
+
+  /// True iff `assignment` (one bool per variable) satisfies the formula.
+  bool Satisfies(const std::vector<bool>& assignment) const;
+  /// Brute-force count of satisfying assignments (2^n enumeration).
+  uint64_t CountSatisfying() const;
+  bool IsSatisfiable() const { return CountSatisfying() > 0; }
+
+  std::string ToString() const;
+};
+
+/// Uniformly random k-CNF with `num_clauses` clauses over `num_variables`
+/// variables (distinct variables within each clause).
+CnfFormula RandomCnf(size_t num_variables, size_t num_clauses,
+                     size_t literals_per_clause, Rng* rng);
+
+/// A formula satisfied only by the all-true assignment (n clauses (v_i)),
+/// handy for tests with known count 1.
+CnfFormula AllTrueCnf(size_t num_variables);
+
+/// A formula satisfied only by the all-false assignment (n clauses (¬v_i)).
+CnfFormula AllFalseCnf(size_t num_variables);
+
+/// An unsatisfiable formula: (v0) ∧ (¬v0).
+CnfFormula UnsatCnf();
+
+/// The components of a reduction: the datalog program, the probabilistic
+/// c-table input (variant 2'), the certain EDB relations, and the query
+/// event.
+struct SatGadget {
+  datalog::Program program;
+  PCDatabase pc;          ///< variant (2'): A(L) as a pc-table
+  Instance certain_edb;   ///< C, O (and variant (2)'s alternatives table)
+  QueryEvent event;
+};
+
+/// Thm 4.1 construction, variant (2'): linear datalog without repair-key
+/// over a probabilistic c-table.  Query result = #sat(F) / 2^n.
+StatusOr<SatGadget> InflationarySatGadgetPC(const CnfFormula& f);
+
+/// Thm 4.1 construction, variant (2): repair-key applied on a base relation
+/// (no c-table; `pc` is left empty). Query result = #sat(F) / 2^n.
+StatusOr<SatGadget> InflationarySatGadgetRepairKey(const CnfFormula& f);
+
+/// Thm 5.1 construction, variant (2'): noninflationary datalog over a
+/// pc-table that is re-sampled every iteration. Long-run query result is
+/// 1 if F is satisfiable, 0 otherwise.
+StatusOr<SatGadget> NonInflationarySatGadgetPC(const CnfFormula& f);
+
+}  // namespace gadgets
+}  // namespace pfql
+
+#endif  // PFQL_GADGETS_SAT_H_

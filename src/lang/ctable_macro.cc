@@ -1,0 +1,193 @@
+#include "lang/ctable_macro.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pfql {
+
+namespace {
+
+constexpr char kVarValsName[] = "__varvals";
+constexpr char kAssignName[] = "__assign";
+
+// A condition literal in DNF form: var = value (positive) or var != value.
+struct Literal {
+  std::string var;
+  Value value;
+  bool positive;
+};
+
+using Conjunct = std::vector<Literal>;
+
+// DNF by truth-table expansion over the condition's (few) variables: one
+// conjunct per satisfying joint assignment. Exact, and uses only the public
+// Condition API.
+StatusOr<std::vector<Conjunct>> ConditionToDnf(
+    const std::shared_ptr<Condition>& cond, const PCDatabase& pc) {
+  std::vector<std::string> vars;
+  cond->CollectVariables(&vars);
+  std::vector<Conjunct> out;
+  if (vars.empty()) {
+    Valuation empty;
+    PFQL_ASSIGN_OR_RETURN(bool holds, cond->Eval(empty));
+    if (holds) out.push_back({});
+    return out;
+  }
+  // Enumerate valuations of the referenced variables only.
+  std::vector<const RandomVariable*> rvs;
+  for (const auto& v : vars) {
+    auto it = pc.variables().find(v);
+    if (it == pc.variables().end()) {
+      return Status::NotFound("condition references unknown variable '" + v +
+                              "'");
+    }
+    rvs.push_back(&it->second);
+  }
+  std::vector<size_t> pick(rvs.size(), 0);
+  for (;;) {
+    Valuation valuation;
+    for (size_t i = 0; i < rvs.size(); ++i) {
+      valuation[rvs[i]->name] = rvs[i]->domain[pick[i]].first;
+    }
+    PFQL_ASSIGN_OR_RETURN(bool holds, cond->Eval(valuation));
+    if (holds) {
+      Conjunct conj;
+      for (size_t i = 0; i < rvs.size(); ++i) {
+        conj.push_back({rvs[i]->name, rvs[i]->domain[pick[i]].first, true});
+      }
+      out.push_back(std::move(conj));
+    }
+    // Odometer increment.
+    size_t i = 0;
+    while (i < rvs.size() && ++pick[i] == rvs[i]->domain.size()) {
+      pick[i] = 0;
+      ++i;
+    }
+    if (i == rvs.size()) break;
+  }
+  return out;
+}
+
+// 0-ary semijoin check for one literal against __assign(var, val, w).
+RaExpr::Ptr LiteralCheck(const Literal& lit) {
+  auto var_eq = Predicate::ColumnEquals("var", Value(lit.var));
+  auto val_cmp = Predicate::Cmp(lit.positive ? CmpOp::kEq : CmpOp::kNe,
+                                ScalarExpr::Column("val"),
+                                ScalarExpr::Const(lit.value));
+  RaExpr::Ptr sel = RaExpr::Select(RaExpr::Base(kAssignName),
+                                   Predicate::And(var_eq, val_cmp));
+  return RaExpr::Project(sel, {});
+}
+
+// Scales a variable's exact probabilities to integer weights.
+StatusOr<std::vector<int64_t>> IntegerWeights(const RandomVariable& var) {
+  BigInt lcm(1);
+  for (const auto& [_, p] : var.domain) {
+    BigInt g = BigInt::Gcd(lcm, p.den());
+    lcm = lcm / g * p.den();
+  }
+  std::vector<int64_t> weights;
+  for (const auto& [_, p] : var.domain) {
+    BigInt w = p.num() * (lcm / p.den());
+    PFQL_ASSIGN_OR_RETURN(int64_t wi, w.ToInt64());
+    weights.push_back(wi);
+  }
+  return weights;
+}
+
+}  // namespace
+
+StatusOr<CTableMacro> ExpandPCDatabase(const PCDatabase& pc) {
+  CTableMacro out;
+
+  for (const auto& [name, _] : pc.tables()) {
+    if (StartsWith(name, "__")) {
+      return Status::InvalidArgument("pc-table name '" + name +
+                                     "' uses the reserved '__' prefix");
+    }
+  }
+
+  // Alternatives relation and its deterministic initial assignment (we pick
+  // the first domain value of each variable; the kernel replaces it on the
+  // first step and every step thereafter).
+  Relation varvals(Schema({"var", "val", "w"}));
+  Relation initial_assign(Schema({"var", "val", "w"}));
+  for (const auto& [name, var] : pc.variables()) {
+    PFQL_ASSIGN_OR_RETURN(std::vector<int64_t> weights, IntegerWeights(var));
+    for (size_t i = 0; i < var.domain.size(); ++i) {
+      Tuple row{Value(name), var.domain[i].first, Value(weights[i])};
+      varvals.Insert(row);
+      if (i == 0) initial_assign.Insert(row);
+    }
+  }
+  out.base_relations.Set(kVarValsName, varvals);
+  out.base_relations.Set(kAssignName, initial_assign);
+
+  // __assign := repair-key_{var}@w(__varvals).
+  RepairKeySpec spec;
+  spec.key_columns = {"var"};
+  spec.weight_column = "w";
+  out.kernel.Define(kAssignName,
+                    RaExpr::RepairKey(RaExpr::Base(kVarValsName), spec));
+
+  // Each pc-table: union over rows of const(row) × check(condition).
+  for (const auto& [name, table] : pc.tables()) {
+    RaExpr::Ptr table_expr;
+    for (const auto& row : table.rows) {
+      Relation row_rel(table.schema);
+      row_rel.Insert(row.tuple);
+      RaExpr::Ptr row_expr = RaExpr::Const(std::move(row_rel));
+
+      PFQL_ASSIGN_OR_RETURN(std::vector<Conjunct> dnf,
+                            ConditionToDnf(row.condition, pc));
+      // check = union over conjuncts of the product of literal checks.
+      RaExpr::Ptr check;
+      for (const auto& conj : dnf) {
+        RaExpr::Ptr conj_expr;
+        if (conj.empty()) {
+          // "true": the nonempty 0-ary relation.
+          Relation nullary{Schema{}};
+          nullary.Insert(Tuple{});
+          conj_expr = RaExpr::Const(std::move(nullary));
+        } else {
+          for (const auto& lit : conj) {
+            RaExpr::Ptr lc = LiteralCheck(lit);
+            conj_expr = conj_expr == nullptr
+                            ? lc
+                            : RaExpr::Product(std::move(conj_expr), lc);
+          }
+        }
+        check = check == nullptr ? conj_expr
+                                 : RaExpr::Union(std::move(check), conj_expr);
+      }
+      if (check == nullptr) {
+        // Unsatisfiable condition: row never appears.
+        continue;
+      }
+      row_expr = RaExpr::Product(std::move(row_expr), std::move(check));
+      table_expr = table_expr == nullptr
+                       ? row_expr
+                       : RaExpr::Union(std::move(table_expr), row_expr);
+    }
+    if (table_expr == nullptr) {
+      table_expr = RaExpr::Const(Relation(table.schema));
+    }
+    out.kernel.Define(name, table_expr);
+
+    // Initial instantiation under the deterministic initial assignment.
+    Valuation init;
+    for (const auto& [vname, var] : pc.variables()) {
+      init[vname] = var.domain[0].first;
+    }
+    Relation initial_rel(table.schema);
+    for (const auto& row : table.rows) {
+      PFQL_ASSIGN_OR_RETURN(bool holds, row.condition->Eval(init));
+      if (holds) initial_rel.Insert(row.tuple);
+    }
+    out.base_relations.Set(name, std::move(initial_rel));
+  }
+  return out;
+}
+
+}  // namespace pfql

@@ -1,0 +1,45 @@
+// Expansion of probabilistic c-tables into repair-key kernels — the paper's
+// "pc-tables are macros" device (end of Sec 3.1): the probabilistic choices
+// generating possible worlds are simulated by repair-key applications.
+//
+// The expansion materializes one alternatives relation
+//   __varvals(var, val, w)      (w: integer weights proportional to the
+//                                exact variable probabilities)
+// and defines kernel queries
+//   __assign := repair-key_{var}@w(__varvals)
+//   T        := ⋃_rows  const(row) × check(condition, __assign)
+// where check(φ) is a 0-ary subexpression that is nonempty iff φ holds under
+// the chosen assignment (built from φ's DNF via semijoins on __assign).
+//
+// Under noninflationary semantics this re-samples the pc-table every
+// iteration, exactly as Sec 3.1 prescribes. (The assignment is part of the
+// database state; table relations read the previous step's assignment, which
+// leaves the walk's long-run behavior unchanged since assignments are i.i.d.)
+#ifndef PFQL_LANG_CTABLE_MACRO_H_
+#define PFQL_LANG_CTABLE_MACRO_H_
+
+#include "lang/interpretation.h"
+#include "prob/ctable.h"
+#include "util/status.h"
+
+namespace pfql {
+
+/// Result of expanding a PCDatabase.
+struct CTableMacro {
+  /// Relations to merge into the initial instance: the alternatives table
+  /// "__varvals", an initial (deterministically chosen) "__assign", and an
+  /// initial instantiation of each pc-table under that assignment.
+  Instance base_relations;
+  /// Kernel definitions for "__assign" and each pc-table relation. Merge
+  /// these into the transition kernel with Interpretation::Define.
+  Interpretation kernel;
+};
+
+/// Expands `pc` into repair-key machinery. Fails if some exact variable
+/// probability cannot be scaled to int64 weights, or a relation name starts
+/// with the reserved "__" prefix.
+StatusOr<CTableMacro> ExpandPCDatabase(const PCDatabase& pc);
+
+}  // namespace pfql
+
+#endif  // PFQL_LANG_CTABLE_MACRO_H_

@@ -1,0 +1,57 @@
+// General query events. Def 3.2 allows the query event to be any
+// "low-complexity Boolean relational database query" (with t ∈ R as the
+// canonical special case). EventExpr covers that generality: tuple
+// membership, non-emptiness of an RA expression over the current state, and
+// boolean combinations.
+#ifndef PFQL_LANG_EVENT_H_
+#define PFQL_LANG_EVENT_H_
+
+#include <memory>
+#include <string>
+
+#include "lang/interpretation.h"
+#include "ra/ra_expr.h"
+#include "util/status.h"
+
+namespace pfql {
+
+/// A Boolean query over database instances.
+class EventExpr {
+ public:
+  enum class Kind { kTupleIn, kNonEmpty, kAnd, kOr, kNot };
+
+  using Ptr = std::shared_ptr<const EventExpr>;
+
+  /// The canonical event: tuple ∈ relation (false if the relation is
+  /// absent).
+  static Ptr TupleIn(std::string relation, Tuple tuple);
+  /// From the plain QueryEvent.
+  static Ptr From(const QueryEvent& event) {
+    return TupleIn(event.relation, event.tuple);
+  }
+  /// True iff the RA expression evaluates to a non-empty relation on the
+  /// current state. The expression must be deterministic (no repair-key):
+  /// events observe the state, they do not extend the probability space.
+  static StatusOr<Ptr> NonEmpty(RaExpr::Ptr query);
+  static Ptr And(Ptr l, Ptr r);
+  static Ptr Or(Ptr l, Ptr r);
+  static Ptr Not(Ptr e);
+
+  Kind kind() const { return kind_; }
+
+  /// Truth value on an instance.
+  StatusOr<bool> Holds(const Instance& instance) const;
+
+  std::string ToString() const;
+
+ private:
+  Kind kind_ = Kind::kTupleIn;
+  std::string relation_;
+  Tuple tuple_;
+  RaExpr::Ptr query_;
+  Ptr lhs_, rhs_;
+};
+
+}  // namespace pfql
+
+#endif  // PFQL_LANG_EVENT_H_

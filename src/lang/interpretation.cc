@@ -1,0 +1,79 @@
+#include "lang/interpretation.h"
+
+namespace pfql {
+
+bool Interpretation::IsDeterministic() const {
+  for (const auto& [_, q] : queries_) {
+    if (q->IsProbabilistic()) return false;
+  }
+  return true;
+}
+
+StatusOr<Distribution<Instance>> Interpretation::ApplyExact(
+    const Instance& instance, const ExactEvalOptions& options) const {
+  // Start from the point distribution at the carried-over instance, then
+  // fold in each defined relation's result distribution independently.
+  Distribution<Instance> worlds = Distribution<Instance>::Point(instance);
+  for (const auto& [name, query] : queries_) {
+    PFQL_ASSIGN_OR_RETURN(Distribution<Relation> results,
+                          EvalExact(query, instance, options));
+    if (worlds.size() * results.size() > options.max_worlds) {
+      return Status::ResourceExhausted(
+          "interpretation step exceeds max_worlds = " +
+          std::to_string(options.max_worlds));
+    }
+    Distribution<Instance> next;
+    for (const auto& w : worlds.outcomes()) {
+      for (const auto& r : results.outcomes()) {
+        Instance updated = w.value;
+        updated.Set(name, r.value);
+        next.Add(std::move(updated), w.probability * r.probability);
+      }
+    }
+    next.Normalize();
+    worlds = std::move(next);
+  }
+  return worlds;
+}
+
+StatusOr<Instance> Interpretation::ApplySample(const Instance& instance,
+                                               Rng* rng) const {
+  Instance next = instance;
+  for (const auto& [name, query] : queries_) {
+    // All right-hand sides read the *old* instance (parallel firing).
+    PFQL_ASSIGN_OR_RETURN(Relation result, EvalSample(query, instance, rng));
+    next.Set(name, std::move(result));
+  }
+  return next;
+}
+
+Interpretation Interpretation::Inflationary() const {
+  Interpretation out;
+  for (const auto& [name, query] : queries_) {
+    out.Define(name, RaExpr::Union(RaExpr::Base(name), query));
+  }
+  return out;
+}
+
+StatusOr<bool> Interpretation::IsInflationaryOn(
+    const Instance& instance, const ExactEvalOptions& options) const {
+  PFQL_ASSIGN_OR_RETURN(Distribution<Instance> worlds,
+                        ApplyExact(instance, options));
+  for (const auto& w : worlds.outcomes()) {
+    for (const auto& [name, rel] : instance.relations()) {
+      const Relation* next_rel = w.value.Find(name);
+      if (next_rel == nullptr || !rel.IsSubsetOf(*next_rel)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Interpretation::ToString() const {
+  std::string out;
+  for (const auto& [name, query] : queries_) {
+    out += name + " := " + query->ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace pfql

@@ -1,0 +1,148 @@
+// Finite Markov chains (paper Sec 2.3): sparse stochastic transition
+// structure with exact rational probabilities, SCC decomposition,
+// irreducibility / aperiodicity / ergodicity tests, stationary distributions
+// (double and exact-rational solvers), absorption probabilities into bottom
+// SCCs (the general algorithm of Thm 5.5), step distributions, and mixing
+// time (Sec 2.3's t(ε)).
+#ifndef PFQL_MARKOV_MARKOV_CHAIN_H_
+#define PFQL_MARKOV_MARKOV_CHAIN_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "markov/matrix.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace pfql {
+
+/// SCC decomposition of the chain's directed transition graph.
+struct SccDecomposition {
+  /// Component id per state; ids are in *reverse topological* order of the
+  /// condensation (i.e. edges go from higher ids to lower ids is NOT
+  /// guaranteed; use `bottom` / `dag_edges` instead).
+  std::vector<size_t> component_of;
+  /// States of each component.
+  std::vector<std::vector<size_t>> components;
+  /// Condensation edges (from-component, to-component), deduplicated.
+  std::vector<std::pair<size_t, size_t>> dag_edges;
+  /// True for components with no outgoing condensation edge (closed /
+  /// recurrent classes; the "leaves" of Thm 5.5).
+  std::vector<bool> is_bottom;
+};
+
+/// A finite Markov chain with exact rational transition probabilities.
+class MarkovChain {
+ public:
+  explicit MarkovChain(size_t num_states) : rows_(num_states) {}
+
+  size_t num_states() const { return rows_.size(); }
+
+  /// Adds probability mass to the (from, to) transition (accumulating).
+  Status AddTransition(size_t from, size_t to, BigRational probability);
+
+  /// Every row must sum to exactly 1 with non-negative entries.
+  Status Validate() const;
+
+  /// Sparse outgoing transitions of a state.
+  const std::vector<std::pair<size_t, BigRational>>& Row(size_t state) const {
+    return rows_[state];
+  }
+
+  /// Dense double transition matrix P (row-stochastic).
+  DenseMatrix ToDenseMatrix() const;
+
+  /// One step of the distribution: returns v·P using the sparse rows
+  /// (O(edges), not O(states²)).
+  std::vector<double> StepDistribution(const std::vector<double>& v) const;
+
+  // ---- Structure -----------------------------------------------------
+  SccDecomposition DecomposeScc() const;
+  bool IsIrreducible() const;
+  /// Period of the chain restricted to `state`'s SCC (1 = aperiodic there).
+  size_t PeriodOf(size_t state) const;
+  bool IsAperiodic() const;
+  /// Irreducible + aperiodic (finite chains are positively recurrent when
+  /// irreducible).
+  bool IsErgodic() const { return IsIrreducible() && IsAperiodic(); }
+
+  // ---- Stationary analysis -------------------------------------------
+  /// Solves πP = π, Σπ = 1 (double Gaussian elimination). Requires an
+  /// irreducible chain (error otherwise). Valid for periodic chains too:
+  /// the result is the Cesàro-limit occupation distribution used by the
+  /// paper's query semantics.
+  StatusOr<std::vector<double>> StationaryDistribution() const;
+  /// Exact-rational stationary distribution.
+  StatusOr<std::vector<BigRational>> ExactStationaryDistribution() const;
+  /// Stationary distribution via power iteration on the lazy chain
+  /// (P+I)/2 — same stationary distribution, geometric convergence for
+  /// every irreducible chain, no linear solve.
+  StatusOr<std::vector<double>> StationaryByIteration(size_t max_iters,
+                                                      double tolerance) const;
+
+  /// Distribution after `steps` steps from the given start distribution.
+  StatusOr<std::vector<double>> DistributionAfter(
+      std::vector<double> start, size_t steps) const;
+
+  /// Probability, for each bottom SCC, that a walk from `start` is
+  /// eventually absorbed there (indexed like SccDecomposition::components,
+  /// zero for non-bottom components).
+  StatusOr<std::vector<double>> AbsorptionProbabilities(size_t start) const;
+  StatusOr<std::vector<BigRational>> ExactAbsorptionProbabilities(
+      size_t start) const;
+
+  /// The paper's query-result semantics (Def 3.2 / Thm 5.5): the long-run
+  /// fraction of time spent in states satisfying `event`, starting from
+  /// `start`. Handles reducible chains by absorption into bottom SCCs.
+  StatusOr<double> LongRunProbability(
+      size_t start, const std::function<bool(size_t)>& event) const;
+  StatusOr<BigRational> ExactLongRunProbability(
+      size_t start, const std::function<bool(size_t)>& event) const;
+
+  /// Expected number of steps for a walk from `start` to first enter a
+  /// state satisfying `target`. Returns 0 if start is a target; an error if
+  /// the target set is reached with probability < 1 from some state that
+  /// the walk can visit (the linear system is then singular or negative).
+  StatusOr<double> ExpectedHittingTime(
+      size_t start, const std::function<bool(size_t)>& target) const;
+
+  /// Expected number of steps to first *return* to `state` (Kac's formula:
+  /// equals 1/π(state) for irreducible chains — tested as a consistency
+  /// check between the hitting-time and stationary solvers).
+  StatusOr<double> ExpectedReturnTime(size_t state) const;
+
+  // ---- Mixing ---------------------------------------------------------
+  /// Total variation distance ½·Σ|aᵢ−bᵢ|.
+  static double TotalVariation(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+  /// The paper's t(ε) from a fixed start state: the smallest t such that
+  /// |Pr(S_t = i) − π_i| < ε for every state i. Requires ergodicity;
+  /// ResourceExhausted if not reached within max_steps.
+  StatusOr<size_t> MixingTimeFrom(size_t start, double epsilon,
+                                  size_t max_steps = 1 << 20) const;
+  /// Worst case over all start states.
+  StatusOr<size_t> MixingTime(double epsilon,
+                              size_t max_steps = 1 << 20) const;
+
+  /// Total-variation mixing time from a start state: smallest t with
+  /// TV(P^t(start, ·), π) < ε. TV bounds the estimation bias of *any*
+  /// event (sums of states), so this is the right burn-in for MCMC
+  /// sampling of aggregate query events; the per-state max-norm variant
+  /// above matches the paper's definition but can under-burn events
+  /// spanning many states.
+  StatusOr<size_t> TvMixingTimeFrom(size_t start, double epsilon,
+                                    size_t max_steps = 1 << 20) const;
+
+ private:
+  // Restriction of the chain to the states of one closed component;
+  // `index_in_component` maps global -> local state ids.
+  MarkovChain RestrictTo(const std::vector<size_t>& states) const;
+
+  std::vector<std::vector<std::pair<size_t, BigRational>>> rows_;
+};
+
+}  // namespace pfql
+
+#endif  // PFQL_MARKOV_MARKOV_CHAIN_H_

@@ -1,0 +1,66 @@
+#include "markov/matrix.h"
+
+namespace pfql {
+
+DenseMatrix DenseMatrix::Identity(size_t n) {
+  DenseMatrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+StatusOr<DenseMatrix> DenseMatrix::Multiply(const DenseMatrix& other) const {
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument("matrix dimension mismatch in multiply");
+  }
+  DenseMatrix out(rows_, other.cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double v = at(i, k);
+      if (v == 0.0) continue;
+      for (size_t j = 0; j < other.cols_; ++j) {
+        out.at(i, j) += v * other.at(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> DenseMatrix::LeftMultiply(
+    const std::vector<double>& v) const {
+  if (v.size() != rows_) {
+    return Status::InvalidArgument("vector size mismatch in left-multiply");
+  }
+  std::vector<double> out(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    for (size_t j = 0; j < cols_; ++j) {
+      out[j] += vi * at(i, j);
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::Transposed() const {
+  DenseMatrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) {
+      out.at(j, i) = at(i, j);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> SolveLinearSystem(DenseMatrix a,
+                                                std::vector<double> b) {
+  const size_t n = a.rows();
+  if (a.cols() != n) return Status::InvalidArgument("non-square system");
+  if (b.size() != n) return Status::InvalidArgument("rhs size mismatch");
+  std::vector<std::vector<double>> rows(n, std::vector<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) rows[i][j] = a.at(i, j);
+  }
+  return SolveLinearSystemField<double>(std::move(rows), std::move(b));
+}
+
+}  // namespace pfql

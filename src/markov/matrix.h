@@ -1,0 +1,113 @@
+// Minimal dense linear algebra: matrices over double and exact Gaussian
+// elimination over any field type (double or BigRational). Used to compute
+// stationary distributions (πP = π) and absorption probabilities for
+// Markov chains over database states (paper Prop 5.4 / Thm 5.5).
+#ifndef PFQL_MARKOV_MATRIX_H_
+#define PFQL_MARKOV_MATRIX_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace pfql {
+
+/// Row-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() : rows_(0), cols_(0) {}
+  DenseMatrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Identity matrix of size n.
+  static DenseMatrix Identity(size_t n);
+
+  /// this * other; dimensions must agree.
+  StatusOr<DenseMatrix> Multiply(const DenseMatrix& other) const;
+
+  /// Row vector v (size rows()==1 not required: v is a plain vector) times
+  /// this: returns v * M.
+  StatusOr<std::vector<double>> LeftMultiply(
+      const std::vector<double>& v) const;
+
+  DenseMatrix Transposed() const;
+
+ private:
+  size_t rows_, cols_;
+  std::vector<double> data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// A must be square; returns InvalidArgument on singular systems.
+StatusOr<std::vector<double>> SolveLinearSystem(DenseMatrix a,
+                                                std::vector<double> b);
+
+namespace internal {
+template <typename F>
+bool FieldIsZero(const F& v) {
+  if constexpr (std::is_same_v<F, double>) {
+    return std::fabs(v) < 1e-12;
+  } else {
+    return v.IsZero();
+  }
+}
+template <typename F>
+bool PivotBetter(const F& candidate, const F& incumbent) {
+  if constexpr (std::is_same_v<F, double>) {
+    return std::fabs(candidate) > std::fabs(incumbent);
+  } else {
+    // Exact fields need any nonzero pivot.
+    return incumbent.IsZero() && !candidate.IsZero();
+  }
+}
+}  // namespace internal
+
+/// Exact / generic Gaussian elimination: solves A x = b over field F
+/// (double or BigRational). A is given as vector of rows and consumed.
+template <typename F>
+StatusOr<std::vector<F>> SolveLinearSystemField(std::vector<std::vector<F>> a,
+                                                std::vector<F> b) {
+  const size_t n = a.size();
+  for (const auto& row : a) {
+    if (row.size() != n) {
+      return Status::InvalidArgument("non-square system");
+    }
+  }
+  if (b.size() != n) return Status::InvalidArgument("rhs size mismatch");
+
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (internal::PivotBetter(a[r][col], a[pivot][col])) pivot = r;
+    }
+    if (internal::FieldIsZero(a[pivot][col])) {
+      return Status::InvalidArgument("singular linear system");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col || internal::FieldIsZero(a[r][col])) continue;
+      F factor = a[r][col] / a[col][col];
+      for (size_t c = col; c < n; ++c) {
+        a[r][c] = a[r][c] - factor * a[col][c];
+      }
+      b[r] = b[r] - factor * b[col];
+    }
+  }
+  std::vector<F> x;
+  x.reserve(n);
+  for (size_t i = 0; i < n; ++i) x.push_back(b[i] / a[i][i]);
+  return x;
+}
+
+}  // namespace pfql
+
+#endif  // PFQL_MARKOV_MATRIX_H_

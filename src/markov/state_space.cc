@@ -1,0 +1,67 @@
+#include "markov/state_space.h"
+
+#include <map>
+
+namespace pfql {
+
+size_t StateSpace::IndexOf(const Instance& instance) const {
+  for (size_t i = 0; i < states.size(); ++i) {
+    if (states[i] == instance) return i;
+  }
+  return SIZE_MAX;
+}
+
+std::vector<bool> StateSpace::EventStates(const QueryEvent& event) const {
+  std::vector<bool> out(states.size(), false);
+  for (size_t i = 0; i < states.size(); ++i) {
+    out[i] = event.Holds(states[i]);
+  }
+  return out;
+}
+
+StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
+                                     const Instance& initial,
+                                     const StateSpaceOptions& options) {
+  StateSpace space;
+  std::map<Instance, size_t> index;
+
+  space.states.push_back(initial);
+  index.emplace(initial, 0);
+
+  // Two-phase BFS: first discover all states and record transitions, then
+  // assemble the chain (MarkovChain needs its size up front, so we collect
+  // into an edge list).
+  struct Edge {
+    size_t from, to;
+    BigRational p;
+  };
+  std::vector<Edge> edges;
+
+  for (size_t frontier = 0; frontier < space.states.size(); ++frontier) {
+    PFQL_ASSIGN_OR_RETURN(
+        Distribution<Instance> successors,
+        q.ApplyExact(space.states[frontier], options.eval));
+    for (const auto& outcome : successors.outcomes()) {
+      auto [it, inserted] =
+          index.emplace(outcome.value, space.states.size());
+      if (inserted) {
+        if (space.states.size() >= options.max_states) {
+          return Status::ResourceExhausted(
+              "state space exceeds max_states = " +
+              std::to_string(options.max_states));
+        }
+        space.states.push_back(outcome.value);
+      }
+      edges.push_back({frontier, it->second, outcome.probability});
+    }
+  }
+
+  space.chain = MarkovChain(space.states.size());
+  for (auto& e : edges) {
+    PFQL_RETURN_NOT_OK(space.chain.AddTransition(e.from, e.to, std::move(e.p)));
+  }
+  PFQL_RETURN_NOT_OK(space.chain.Validate());
+  return space;
+}
+
+}  // namespace pfql

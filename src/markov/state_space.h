@@ -1,0 +1,45 @@
+// Builds the Markov chain over database instances induced by a transition
+// kernel and an initial instance (paper Sec 3.1 / Prop 5.4): states are the
+// instances reachable from the start, transition probabilities are the exact
+// possible-world probabilities of one kernel application.
+#ifndef PFQL_MARKOV_STATE_SPACE_H_
+#define PFQL_MARKOV_STATE_SPACE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "lang/interpretation.h"
+#include "markov/markov_chain.h"
+#include "relational/instance.h"
+#include "util/status.h"
+
+namespace pfql {
+
+/// The explored state space: states[0] is the initial instance.
+struct StateSpace {
+  std::vector<Instance> states;
+  MarkovChain chain{0};
+
+  /// Index of an instance in `states`, or SIZE_MAX.
+  size_t IndexOf(const Instance& instance) const;
+
+  /// Indicator vector for an event over the explored states.
+  std::vector<bool> EventStates(const QueryEvent& event) const;
+};
+
+/// Exploration limits: state spaces are exponential in the database size in
+/// the worst case (that is Prop 5.4's EXPTIME bound), so callers cap them.
+struct StateSpaceOptions {
+  size_t max_states = 1 << 14;
+  ExactEvalOptions eval;
+};
+
+/// BFS exploration from `initial` under kernel `q`. Fails with
+/// ResourceExhausted when max_states is exceeded.
+StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
+                                     const Instance& initial,
+                                     const StateSpaceOptions& options = {});
+
+}  // namespace pfql
+
+#endif  // PFQL_MARKOV_STATE_SPACE_H_

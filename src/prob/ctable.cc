@@ -1,0 +1,316 @@
+#include "prob/ctable.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace pfql {
+
+Status RandomVariable::Validate() const {
+  if (name.empty()) return Status::InvalidArgument("empty variable name");
+  if (domain.empty()) {
+    return Status::InvalidArgument("variable '" + name + "' has empty domain");
+  }
+  BigRational total;
+  for (const auto& [value, p] : domain) {
+    if (p.IsNegative() || p.IsZero()) {
+      return Status::InvalidArgument("variable '" + name +
+                                     "' has non-positive probability " +
+                                     p.ToString());
+    }
+    total += p;
+  }
+  if (!total.IsOne()) {
+    return Status::InvalidArgument("variable '" + name +
+                                   "' probabilities sum to " +
+                                   total.ToString() + " != 1");
+  }
+  for (size_t i = 0; i < domain.size(); ++i) {
+    for (size_t j = i + 1; j < domain.size(); ++j) {
+      if (domain[i].first == domain[j].first) {
+        return Status::InvalidArgument("variable '" + name +
+                                       "' has duplicate domain value " +
+                                       domain[i].first.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<Condition> Condition::True() {
+  return std::make_shared<Condition>();
+}
+
+std::shared_ptr<Condition> Condition::Eq(std::string var, Value v) {
+  auto c = std::make_shared<Condition>();
+  c->kind_ = Kind::kEq;
+  c->var_ = std::move(var);
+  c->value_ = std::move(v);
+  return c;
+}
+
+std::shared_ptr<Condition> Condition::Ne(std::string var, Value v) {
+  auto c = std::make_shared<Condition>();
+  c->kind_ = Kind::kNe;
+  c->var_ = std::move(var);
+  c->value_ = std::move(v);
+  return c;
+}
+
+std::shared_ptr<Condition> Condition::And(std::shared_ptr<Condition> l,
+                                          std::shared_ptr<Condition> r) {
+  auto c = std::make_shared<Condition>();
+  c->kind_ = Kind::kAnd;
+  c->lhs_ = std::move(l);
+  c->rhs_ = std::move(r);
+  return c;
+}
+
+std::shared_ptr<Condition> Condition::Or(std::shared_ptr<Condition> l,
+                                         std::shared_ptr<Condition> r) {
+  auto c = std::make_shared<Condition>();
+  c->kind_ = Kind::kOr;
+  c->lhs_ = std::move(l);
+  c->rhs_ = std::move(r);
+  return c;
+}
+
+std::shared_ptr<Condition> Condition::Not(std::shared_ptr<Condition> inner) {
+  auto c = std::make_shared<Condition>();
+  c->kind_ = Kind::kNot;
+  c->lhs_ = std::move(inner);
+  return c;
+}
+
+StatusOr<bool> Condition::Eval(const Valuation& valuation) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kEq:
+    case Kind::kNe: {
+      auto it = valuation.find(var_);
+      if (it == valuation.end()) {
+        return Status::NotFound("variable '" + var_ +
+                                "' unassigned in valuation");
+      }
+      bool eq = it->second == value_;
+      return kind_ == Kind::kEq ? eq : !eq;
+    }
+    case Kind::kAnd: {
+      PFQL_ASSIGN_OR_RETURN(bool a, lhs_->Eval(valuation));
+      if (!a) return false;
+      return rhs_->Eval(valuation);
+    }
+    case Kind::kOr: {
+      PFQL_ASSIGN_OR_RETURN(bool a, lhs_->Eval(valuation));
+      if (a) return true;
+      return rhs_->Eval(valuation);
+    }
+    case Kind::kNot: {
+      PFQL_ASSIGN_OR_RETURN(bool a, lhs_->Eval(valuation));
+      return !a;
+    }
+  }
+  return Status::Internal("corrupt Condition");
+}
+
+void Condition::CollectVariables(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      break;
+    case Kind::kEq:
+    case Kind::kNe:
+      out->push_back(var_);
+      break;
+    case Kind::kAnd:
+    case Kind::kOr:
+      lhs_->CollectVariables(out);
+      rhs_->CollectVariables(out);
+      break;
+    case Kind::kNot:
+      lhs_->CollectVariables(out);
+      break;
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+std::string Condition::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kEq:
+      return var_ + " = " + value_.ToString();
+    case Kind::kNe:
+      return var_ + " != " + value_.ToString();
+    case Kind::kAnd:
+      return "(" + lhs_->ToString() + " and " + rhs_->ToString() + ")";
+    case Kind::kOr:
+      return "(" + lhs_->ToString() + " or " + rhs_->ToString() + ")";
+    case Kind::kNot:
+      return "not (" + lhs_->ToString() + ")";
+  }
+  return "<corrupt>";
+}
+
+Status PCDatabase::AddVariable(RandomVariable var) {
+  PFQL_RETURN_NOT_OK(var.Validate());
+  if (variables_.count(var.name)) {
+    return Status::AlreadyExists("variable '" + var.name + "' already added");
+  }
+  std::string name = var.name;
+  variables_.emplace(std::move(name), std::move(var));
+  return Status::OK();
+}
+
+Status PCDatabase::AddBooleanVariable(const std::string& name,
+                                      BigRational p_true) {
+  RandomVariable var;
+  var.name = name;
+  BigRational p_false = BigRational(1) - p_true;
+  var.domain = {{Value(int64_t{1}), std::move(p_true)},
+                {Value(int64_t{0}), std::move(p_false)}};
+  return AddVariable(std::move(var));
+}
+
+Status PCDatabase::AddTable(const std::string& relation_name, CTable table) {
+  if (tables_.count(relation_name)) {
+    return Status::AlreadyExists("pc-table '" + relation_name +
+                                 "' already added");
+  }
+  PFQL_RETURN_NOT_OK(table.schema.Validate());
+  for (const auto& row : table.rows) {
+    if (row.tuple.size() != table.schema.size()) {
+      return Status::TypeError("pc-table tuple arity mismatch in '" +
+                               relation_name + "'");
+    }
+    if (row.condition == nullptr) {
+      return Status::InvalidArgument("null condition in pc-table '" +
+                                     relation_name + "'");
+    }
+    std::vector<std::string> vars;
+    row.condition->CollectVariables(&vars);
+    for (const auto& v : vars) {
+      if (!variables_.count(v)) {
+        return Status::NotFound("condition references unknown variable '" +
+                                v + "'");
+      }
+    }
+  }
+  tables_.emplace(relation_name, std::move(table));
+  return Status::OK();
+}
+
+Status PCDatabase::AddCertainRelation(const std::string& relation_name,
+                                      Relation rel) {
+  CTable table;
+  table.schema = rel.schema();
+  for (const auto& t : rel.tuples()) {
+    table.rows.push_back({t, Condition::True()});
+  }
+  return AddTable(relation_name, std::move(table));
+}
+
+uint64_t PCDatabase::WorldCount(uint64_t cap) const {
+  uint64_t count = 1;
+  for (const auto& [_, var] : variables_) {
+    uint64_t n = var.domain.size();
+    if (n != 0 && count > cap / n) return cap;
+    count *= n;
+  }
+  return count;
+}
+
+StatusOr<Instance> PCDatabase::InstanceFor(const Valuation& valuation) const {
+  Instance instance;
+  for (const auto& [name, table] : tables_) {
+    Relation rel(table.schema);
+    for (const auto& row : table.rows) {
+      PFQL_ASSIGN_OR_RETURN(bool holds, row.condition->Eval(valuation));
+      if (holds) rel.Insert(row.tuple);
+    }
+    instance.Set(name, std::move(rel));
+  }
+  return instance;
+}
+
+StatusOr<Distribution<Instance>> PCDatabase::EnumerateWorlds(
+    uint64_t max_worlds) const {
+  if (WorldCount(max_worlds) >= max_worlds) {
+    return Status::ResourceExhausted(
+        "pc-database has more than " + std::to_string(max_worlds) +
+        " valuations; use sampling instead");
+  }
+  std::vector<const RandomVariable*> vars;
+  vars.reserve(variables_.size());
+  for (const auto& [_, v] : variables_) vars.push_back(&v);
+
+  Distribution<Instance> dist;
+  Valuation valuation;
+  Status failure = Status::OK();
+  std::function<void(size_t, BigRational)> recurse = [&](size_t depth,
+                                                         BigRational prob) {
+    if (!failure.ok()) return;
+    if (depth == vars.size()) {
+      auto instance = InstanceFor(valuation);
+      if (!instance.ok()) {
+        failure = instance.status();
+        return;
+      }
+      dist.Add(std::move(instance).value(), std::move(prob));
+      return;
+    }
+    const RandomVariable& var = *vars[depth];
+    for (const auto& [value, p] : var.domain) {
+      valuation[var.name] = value;
+      recurse(depth + 1, prob * p);
+    }
+    valuation.erase(var.name);
+  };
+  recurse(0, BigRational(1));
+  PFQL_RETURN_NOT_OK(failure);
+  dist.Normalize();
+  return dist;
+}
+
+Valuation PCDatabase::SampleValuation(Rng* rng) const {
+  Valuation valuation;
+  for (const auto& [name, var] : variables_) {
+    std::vector<double> weights;
+    weights.reserve(var.domain.size());
+    for (const auto& [_, p] : var.domain) weights.push_back(p.ToDouble());
+    size_t pick = rng->NextWeighted(weights);
+    if (pick == weights.size()) pick = 0;  // degenerate rounding; validated >0
+    valuation[name] = var.domain[pick].first;
+  }
+  return valuation;
+}
+
+StatusOr<Instance> PCDatabase::SampleWorld(Rng* rng) const {
+  return InstanceFor(SampleValuation(rng));
+}
+
+StatusOr<BigRational> PCDatabase::ValuationProbability(
+    const Valuation& v) const {
+  BigRational prob(1);
+  for (const auto& [name, var] : variables_) {
+    auto it = v.find(name);
+    if (it == v.end()) {
+      return Status::NotFound("valuation missing variable '" + name + "'");
+    }
+    bool found = false;
+    for (const auto& [value, p] : var.domain) {
+      if (value == it->second) {
+        prob *= p;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument("value " + it->second.ToString() +
+                                     " not in domain of '" + name + "'");
+    }
+  }
+  return prob;
+}
+
+}  // namespace pfql

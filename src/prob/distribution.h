@@ -1,0 +1,202 @@
+// Finite probability distributions with exact rational weights. This is the
+// library's representation of a "probabilistic database" in the sense of the
+// paper (Sec 2.2): a finite set of possible worlds with positive rational
+// weights summing to 1. The template is reused for distributions over
+// relations, instances, and tuples.
+#ifndef PFQL_PROB_DISTRIBUTION_H_
+#define PFQL_PROB_DISTRIBUTION_H_
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/random.h"
+#include "util/rational.h"
+#include "util/status.h"
+
+namespace pfql {
+
+/// A finite distribution over outcomes of type T with exact BigRational
+/// weights. T must provide operator< and operator== (canonical ordering).
+///
+/// Invariant after Normalize(): outcomes are sorted, distinct, weights are
+/// positive, and weights sum to the stored total (usually 1).
+template <typename T>
+class Distribution {
+ public:
+  struct Outcome {
+    T value;
+    BigRational probability;
+  };
+
+  Distribution() = default;
+
+  /// The point distribution: `value` with probability 1.
+  static Distribution Point(T value) {
+    Distribution d;
+    d.outcomes_.push_back({std::move(value), BigRational(1)});
+    return d;
+  }
+
+  /// Adds weight to an outcome (merged with equal outcomes on Normalize).
+  void Add(T value, BigRational probability) {
+    if (probability.IsZero()) return;
+    outcomes_.push_back({std::move(value), std::move(probability)});
+  }
+
+  /// Sorts outcomes, merges duplicates (summing weights), drops zeros.
+  void Normalize() {
+    std::sort(outcomes_.begin(), outcomes_.end(),
+              [](const Outcome& a, const Outcome& b) {
+                return a.value < b.value;
+              });
+    std::vector<Outcome> merged;
+    for (auto& o : outcomes_) {
+      if (!merged.empty() && merged.back().value == o.value) {
+        merged.back().probability += o.probability;
+      } else {
+        merged.push_back(std::move(o));
+      }
+    }
+    merged.erase(std::remove_if(merged.begin(), merged.end(),
+                                [](const Outcome& o) {
+                                  return o.probability.IsZero();
+                                }),
+                 merged.end());
+    outcomes_ = std::move(merged);
+  }
+
+  const std::vector<Outcome>& outcomes() const { return outcomes_; }
+  size_t size() const { return outcomes_.size(); }
+  bool empty() const { return outcomes_.empty(); }
+
+  /// Sum of all weights (1 for a proper distribution).
+  BigRational TotalMass() const {
+    BigRational total;
+    for (const auto& o : outcomes_) total += o.probability;
+    return total;
+  }
+
+  /// OK iff weights are positive and sum to exactly 1.
+  Status ValidateProper() const {
+    for (const auto& o : outcomes_) {
+      if (o.probability.IsNegative() || o.probability.IsZero()) {
+        return Status::InvalidArgument("non-positive outcome probability " +
+                                       o.probability.ToString());
+      }
+    }
+    BigRational total = TotalMass();
+    if (!total.IsOne()) {
+      return Status::InvalidArgument("distribution mass " + total.ToString() +
+                                     " != 1");
+    }
+    return Status::OK();
+  }
+
+  /// Probability of the outcomes satisfying `pred` (exact).
+  BigRational ProbabilityOf(const std::function<bool(const T&)>& pred) const {
+    BigRational p;
+    for (const auto& o : outcomes_) {
+      if (pred(o.value)) p += o.probability;
+    }
+    return p;
+  }
+
+  /// Pushes the distribution through a deterministic function.
+  template <typename U, typename F>
+  Distribution<U> Map(F&& f) const {
+    Distribution<U> out;
+    for (const auto& o : outcomes_) {
+      out.Add(f(o.value), o.probability);
+    }
+    out.Normalize();
+    return out;
+  }
+
+  /// Monadic bind: replaces each outcome by a conditional distribution,
+  /// scaling by the outcome's weight. F: const T& -> Distribution<U>.
+  template <typename U, typename F>
+  Distribution<U> AndThen(F&& f) const {
+    Distribution<U> out;
+    for (const auto& o : outcomes_) {
+      Distribution<U> inner = f(o.value);
+      for (const auto& io : inner.outcomes()) {
+        out.Add(io.value, io.probability * o.probability);
+      }
+    }
+    out.Normalize();
+    return out;
+  }
+
+  /// Product of independent distributions, combining outcomes with `f`.
+  template <typename U, typename V, typename F>
+  static Distribution<V> Independent(const Distribution<T>& a,
+                                     const Distribution<U>& b, F&& f) {
+    Distribution<V> out;
+    for (const auto& oa : a.outcomes()) {
+      for (const auto& ob : b.outcomes()) {
+        out.Add(f(oa.value, ob.value), oa.probability * ob.probability);
+      }
+    }
+    out.Normalize();
+    return out;
+  }
+
+  /// Draws one outcome (by weight). Error on an empty distribution.
+  StatusOr<T> Sample(Rng* rng) const {
+    if (outcomes_.empty()) {
+      return Status::FailedPrecondition("sampling an empty distribution");
+    }
+    std::vector<double> weights;
+    weights.reserve(outcomes_.size());
+    for (const auto& o : outcomes_) {
+      weights.push_back(o.probability.ToDouble());
+    }
+    size_t pick = rng->NextWeighted(weights);
+    if (pick >= outcomes_.size()) pick = outcomes_.size() - 1;
+    return outcomes_[pick].value;
+  }
+
+  /// The k most probable outcomes, most probable first (ties broken by the
+  /// outcome order). k larger than the support returns everything.
+  std::vector<Outcome> TopK(size_t k) const {
+    std::vector<Outcome> sorted = outcomes_;
+    std::stable_sort(sorted.begin(), sorted.end(),
+                     [](const Outcome& a, const Outcome& b) {
+                       return b.probability < a.probability;
+                     });
+    if (sorted.size() > k) sorted.resize(k);
+    return sorted;
+  }
+
+  /// Exact entropy is irrational in general; this is the Shannon entropy in
+  /// bits computed in double precision (0 for point distributions).
+  double EntropyBits() const {
+    double h = 0.0;
+    for (const auto& o : outcomes_) {
+      const double p = o.probability.ToDouble();
+      if (p > 0.0) h -= p * std::log2(p);
+    }
+    return h;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < outcomes_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += outcomes_[i].probability.ToString();
+    }
+    out += "} over " + std::to_string(outcomes_.size()) + " worlds";
+    return out;
+  }
+
+ private:
+  std::vector<Outcome> outcomes_;
+};
+
+}  // namespace pfql
+
+#endif  // PFQL_PROB_DISTRIBUTION_H_

@@ -1,0 +1,150 @@
+#include "prob/repair_key.h"
+
+#include <functional>
+#include <map>
+
+namespace pfql {
+
+namespace {
+
+struct Groups {
+  // Group key tuple -> member tuple indices into rel.tuples().
+  std::map<Tuple, std::vector<size_t>> by_key;
+  std::vector<size_t> key_idx;
+  std::optional<size_t> weight_idx;
+};
+
+StatusOr<Groups> BuildGroups(const Relation& rel, const RepairKeySpec& spec) {
+  Groups g;
+  PFQL_ASSIGN_OR_RETURN(g.key_idx, rel.schema().IndicesOf(spec.key_columns));
+  if (spec.weight_column) {
+    auto idx = rel.schema().IndexOf(*spec.weight_column);
+    if (!idx) {
+      return Status::NotFound("repair-key weight column '" +
+                              *spec.weight_column + "' not in schema " +
+                              rel.schema().ToString());
+    }
+    g.weight_idx = *idx;
+  }
+  for (size_t i = 0; i < rel.tuples().size(); ++i) {
+    g.by_key[rel.tuples()[i].Project(g.key_idx)].push_back(i);
+  }
+  return g;
+}
+
+// Exact weight of a member tuple (1 when uniform).
+StatusOr<BigRational> MemberWeight(const Relation& rel, const Groups& g,
+                                   size_t tuple_idx) {
+  if (!g.weight_idx) return BigRational(1);
+  const Value& w = rel.tuples()[tuple_idx][*g.weight_idx];
+  PFQL_ASSIGN_OR_RETURN(BigRational r, w.ToExactNumeric());
+  if (r.IsNegative()) {
+    return Status::InvalidArgument("negative repair-key weight " +
+                                   r.ToString());
+  }
+  return r;
+}
+
+}  // namespace
+
+StatusOr<std::vector<RepairKeyGroup>> RepairKeyGroups(
+    const Relation& rel, const RepairKeySpec& spec) {
+  PFQL_ASSIGN_OR_RETURN(Groups groups, BuildGroups(rel, spec));
+  std::vector<RepairKeyGroup> out;
+  out.reserve(groups.by_key.size());
+  for (const auto& [key, members] : groups.by_key) {
+    RepairKeyGroup group;
+    BigRational total;
+    std::vector<BigRational> weights;
+    for (size_t idx : members) {
+      PFQL_ASSIGN_OR_RETURN(BigRational w, MemberWeight(rel, groups, idx));
+      weights.push_back(w);
+      total += w;
+    }
+    if (total.IsZero()) {
+      return Status::InvalidArgument(
+          "repair-key group with key " + key.ToString() +
+          " has total weight zero");
+    }
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (weights[i].IsZero()) continue;  // zero-weight alternatives drop out
+      group.alternatives.emplace_back(rel.tuples()[members[i]],
+                                      weights[i] / total);
+    }
+    out.push_back(std::move(group));
+  }
+  return out;
+}
+
+StatusOr<Distribution<Relation>> RepairKeyEnumerate(
+    const Relation& rel, const RepairKeySpec& spec) {
+  PFQL_ASSIGN_OR_RETURN(std::vector<RepairKeyGroup> groups,
+                        RepairKeyGroups(rel, spec));
+
+  // Cartesian product over groups (depth-first), worlds built incrementally.
+  Distribution<Relation> dist;
+  std::vector<size_t> chosen(groups.size(), 0);
+  std::function<void(size_t, BigRational)> recurse =
+      [&](size_t depth, BigRational prob) {
+        if (depth == groups.size()) {
+          Relation world(rel.schema());
+          for (size_t gi = 0; gi < groups.size(); ++gi) {
+            world.Insert(groups[gi].alternatives[chosen[gi]].first);
+          }
+          dist.Add(std::move(world), std::move(prob));
+          return;
+        }
+        for (size_t c = 0; c < groups[depth].alternatives.size(); ++c) {
+          chosen[depth] = c;
+          recurse(depth + 1, prob * groups[depth].alternatives[c].second);
+        }
+      };
+  recurse(0, BigRational(1));
+  dist.Normalize();
+  return dist;
+}
+
+StatusOr<Relation> RepairKeySample(const Relation& rel,
+                                   const RepairKeySpec& spec, Rng* rng) {
+  PFQL_ASSIGN_OR_RETURN(Groups groups, BuildGroups(rel, spec));
+  Relation world(rel.schema());
+  for (const auto& [key, members] : groups.by_key) {
+    std::vector<double> weights;
+    weights.reserve(members.size());
+    if (groups.weight_idx) {
+      for (size_t idx : members) {
+        const Value& w = rel.tuples()[idx][*groups.weight_idx];
+        PFQL_ASSIGN_OR_RETURN(double d, w.ToNumeric());
+        if (d < 0) {
+          return Status::InvalidArgument("negative repair-key weight");
+        }
+        weights.push_back(d);
+      }
+    } else {
+      weights.assign(members.size(), 1.0);
+    }
+    size_t pick = rng->NextWeighted(weights);
+    if (pick == weights.size()) {
+      return Status::InvalidArgument(
+          "repair-key group with key " + key.ToString() +
+          " has total weight zero");
+    }
+    world.Insert(rel.tuples()[members[pick]]);
+  }
+  return world;
+}
+
+StatusOr<uint64_t> RepairKeyWorldCount(const Relation& rel,
+                                       const RepairKeySpec& spec,
+                                       uint64_t cap) {
+  PFQL_ASSIGN_OR_RETURN(Groups groups, BuildGroups(rel, spec));
+  uint64_t count = 1;
+  for (const auto& [key, members] : groups.by_key) {
+    uint64_t n = members.size();
+    if (n != 0 && count > cap / n) return cap;
+    count *= n;
+  }
+  return count;
+}
+
+}  // namespace pfql

@@ -1,0 +1,135 @@
+#include "relational/algebra.h"
+
+#include <unordered_map>
+
+namespace pfql {
+
+StatusOr<Relation> Select(const Relation& rel,
+                          const std::shared_ptr<Predicate>& pred) {
+  Relation out(rel.schema());
+  for (const auto& t : rel.tuples()) {
+    PFQL_ASSIGN_OR_RETURN(bool keep, pred->Eval(rel.schema(), t));
+    if (keep) out.Insert(t);
+  }
+  return out;
+}
+
+StatusOr<Relation> Project(const Relation& rel,
+                           const std::vector<std::string>& cols) {
+  PFQL_ASSIGN_OR_RETURN(std::vector<size_t> idx,
+                        rel.schema().IndicesOf(cols));
+  Schema out_schema(cols);
+  PFQL_RETURN_NOT_OK(out_schema.Validate());
+  Relation out(out_schema);
+  for (const auto& t : rel.tuples()) out.Insert(t.Project(idx));
+  return out;
+}
+
+StatusOr<Relation> RenameColumns(
+    const Relation& rel, const std::map<std::string, std::string>& m) {
+  std::vector<std::string> cols = rel.schema().columns();
+  for (const auto& [from, to] : m) {
+    auto idx = rel.schema().IndexOf(from);
+    if (!idx) {
+      return Status::NotFound("rename source column '" + from +
+                              "' not in schema " + rel.schema().ToString());
+    }
+    cols[*idx] = to;
+  }
+  Schema out_schema(std::move(cols));
+  PFQL_RETURN_NOT_OK(out_schema.Validate());
+  PFQL_ASSIGN_OR_RETURN(
+      Relation out,
+      Relation::Make(std::move(out_schema),
+                     std::vector<Tuple>(rel.tuples())));
+  return out;
+}
+
+StatusOr<Relation> NaturalJoin(const Relation& a, const Relation& b) {
+  const std::vector<std::string> common = a.schema().CommonColumns(b.schema());
+  if (common.empty()) return Product(a, b);
+
+  PFQL_ASSIGN_OR_RETURN(std::vector<size_t> a_key,
+                        a.schema().IndicesOf(common));
+  PFQL_ASSIGN_OR_RETURN(std::vector<size_t> b_key,
+                        b.schema().IndicesOf(common));
+  // Indices of b's columns not in common, in schema order.
+  std::vector<size_t> b_rest;
+  for (size_t i = 0; i < b.schema().size(); ++i) {
+    if (!a.schema().Contains(b.schema().column(i))) b_rest.push_back(i);
+  }
+
+  // Hash the smaller side on the key.
+  std::unordered_map<size_t, std::vector<const Tuple*>> index;
+  index.reserve(b.size());
+  for (const auto& t : b.tuples()) {
+    index[t.Project(b_key).Hash()].push_back(&t);
+  }
+
+  Relation out(a.schema().JoinWith(b.schema()));
+  for (const auto& ta : a.tuples()) {
+    Tuple key = ta.Project(a_key);
+    auto it = index.find(key.Hash());
+    if (it == index.end()) continue;
+    for (const Tuple* tb : it->second) {
+      if (tb->Project(b_key) != key) continue;  // hash collision guard
+      Tuple joined = ta;
+      for (size_t i : b_rest) joined.Append((*tb)[i]);
+      out.Insert(std::move(joined));
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> Product(const Relation& a, const Relation& b) {
+  PFQL_ASSIGN_OR_RETURN(Schema out_schema,
+                        a.schema().ConcatDisjoint(b.schema()));
+  Relation out(std::move(out_schema));
+  for (const auto& ta : a.tuples()) {
+    for (const auto& tb : b.tuples()) {
+      Tuple joined = ta;
+      for (const auto& v : tb.values()) joined.Append(v);
+      out.Insert(std::move(joined));
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> Union(const Relation& a, const Relation& b) {
+  return a.UnionWith(b);
+}
+
+StatusOr<Relation> Difference(const Relation& a, const Relation& b) {
+  return a.DifferenceWith(b);
+}
+
+StatusOr<Relation> Intersect(const Relation& a, const Relation& b) {
+  return a.IntersectWith(b);
+}
+
+StatusOr<Relation> Extend(const Relation& rel, const std::string& new_column,
+                          const std::shared_ptr<ScalarExpr>& expr) {
+  if (rel.schema().Contains(new_column)) {
+    return Status::AlreadyExists("extend column '" + new_column +
+                                 "' already in schema");
+  }
+  std::vector<std::string> cols = rel.schema().columns();
+  cols.push_back(new_column);
+  Relation out((Schema(std::move(cols))));
+  for (const auto& t : rel.tuples()) {
+    PFQL_ASSIGN_OR_RETURN(Value v, expr->Eval(rel.schema(), t));
+    Tuple extended = t;
+    extended.Append(std::move(v));
+    out.Insert(std::move(extended));
+  }
+  return out;
+}
+
+Relation SingletonColumn(const std::string& column,
+                         const std::vector<Value>& values) {
+  Relation out(Schema({column}));
+  for (const auto& v : values) out.Insert(Tuple{v});
+  return out;
+}
+
+}  // namespace pfql

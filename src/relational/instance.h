@@ -1,0 +1,74 @@
+// Database instances: named relations in canonical form. An Instance is the
+// "state" of the paper's random walks in-between database instances, so it
+// supports exact equality, ordering, and hashing.
+#ifndef PFQL_RELATIONAL_INSTANCE_H_
+#define PFQL_RELATIONAL_INSTANCE_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace pfql {
+
+/// A database instance: an ordered map from relation name to Relation.
+class Instance {
+ public:
+  Instance() = default;
+
+  /// Adds or replaces a relation.
+  void Set(const std::string& name, Relation relation) {
+    relations_[name] = std::move(relation);
+  }
+
+  bool Has(const std::string& name) const {
+    return relations_.count(name) > 0;
+  }
+
+  /// Error if absent.
+  StatusOr<Relation> Get(const std::string& name) const;
+
+  /// Pointer access; nullptr if absent.
+  const Relation* Find(const std::string& name) const;
+  Relation* FindMutable(const std::string& name);
+
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+  size_t relation_count() const { return relations_.size(); }
+
+  /// Total tuple count across relations.
+  size_t TotalTuples() const;
+
+  /// All distinct Values appearing in any tuple (the active domain).
+  std::vector<Value> ActiveDomain() const;
+
+  bool operator==(const Instance& o) const;
+  bool operator!=(const Instance& o) const { return !(*this == o); }
+  /// Total order over instances with identical relation-name sets
+  /// (names compared too, so it is total over all instances).
+  int Compare(const Instance& other) const;
+  bool operator<(const Instance& o) const { return Compare(o) < 0; }
+
+  size_t Hash() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> relations_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Instance& d) {
+  return os << d.ToString();
+}
+
+/// Hash functor for unordered containers keyed by Instance.
+struct InstanceHash {
+  size_t operator()(const Instance& d) const { return d.Hash(); }
+};
+
+}  // namespace pfql
+
+#endif  // PFQL_RELATIONAL_INSTANCE_H_

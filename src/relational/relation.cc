@@ -1,0 +1,114 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace pfql {
+
+StatusOr<Relation> Relation::Make(Schema schema, std::vector<Tuple> tuples) {
+  PFQL_RETURN_NOT_OK(schema.Validate());
+  for (const auto& t : tuples) {
+    if (t.size() != schema.size()) {
+      return Status::TypeError("tuple " + t.ToString() + " has arity " +
+                               std::to_string(t.size()) + ", schema " +
+                               schema.ToString() + " expects " +
+                               std::to_string(schema.size()));
+    }
+  }
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  Relation r(std::move(schema));
+  r.tuples_ = std::move(tuples);
+  return r;
+}
+
+bool Relation::Insert(Tuple t) {
+  assert(t.size() == schema_.size() && "tuple arity mismatch");
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it != tuples_.end() && *it == t) return false;
+  tuples_.insert(it, std::move(t));
+  return true;
+}
+
+bool Relation::Erase(const Tuple& t) {
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
+  if (it == tuples_.end() || *it != t) return false;
+  tuples_.erase(it);
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+StatusOr<Relation> Relation::UnionWith(const Relation& other) const {
+  if (!empty() && !other.empty() && schema_.size() != other.schema_.size()) {
+    return Status::TypeError("union of arity " +
+                             std::to_string(schema_.size()) + " with arity " +
+                             std::to_string(other.schema_.size()));
+  }
+  Relation out(schema_.empty() ? other.schema_ : schema_);
+  std::set_union(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                 other.tuples_.end(), std::back_inserter(out.tuples_));
+  return out;
+}
+
+StatusOr<Relation> Relation::DifferenceWith(const Relation& other) const {
+  if (!empty() && !other.empty() && schema_.size() != other.schema_.size()) {
+    return Status::TypeError("difference of arity " +
+                             std::to_string(schema_.size()) + " with arity " +
+                             std::to_string(other.schema_.size()));
+  }
+  Relation out(schema_);
+  std::set_difference(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                      other.tuples_.end(), std::back_inserter(out.tuples_));
+  return out;
+}
+
+StatusOr<Relation> Relation::IntersectWith(const Relation& other) const {
+  if (!empty() && !other.empty() && schema_.size() != other.schema_.size()) {
+    return Status::TypeError("intersection of arity " +
+                             std::to_string(schema_.size()) + " with arity " +
+                             std::to_string(other.schema_.size()));
+  }
+  Relation out(schema_);
+  std::set_intersection(tuples_.begin(), tuples_.end(), other.tuples_.begin(),
+                        other.tuples_.end(), std::back_inserter(out.tuples_));
+  return out;
+}
+
+bool Relation::IsSubsetOf(const Relation& other) const {
+  return std::includes(other.tuples_.begin(), other.tuples_.end(),
+                       tuples_.begin(), tuples_.end());
+}
+
+int Relation::Compare(const Relation& other) const {
+  const size_t n = std::min(tuples_.size(), other.tuples_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = tuples_[i].Compare(other.tuples_[i]);
+    if (c != 0) return c;
+  }
+  if (tuples_.size() != other.tuples_.size()) {
+    return tuples_.size() < other.tuples_.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+size_t Relation::Hash() const {
+  size_t h = tuples_.size();
+  for (const auto& t : tuples_) HashCombine(&h, t.Hash());
+  return h;
+}
+
+std::string Relation::ToString() const {
+  std::string out = schema_.ToString() + " {";
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tuples_[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace pfql

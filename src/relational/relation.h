@@ -1,0 +1,73 @@
+// Relations: set-semantics collections of same-arity tuples with a schema,
+// kept in canonical (sorted, duplicate-free) form so relation equality and
+// hashing are well-defined. Canonical form is what lets Markov-chain states
+// (database instances) be deduplicated exactly.
+#ifndef PFQL_RELATIONAL_RELATION_H_
+#define PFQL_RELATIONAL_RELATION_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+#include "relational/tuple.h"
+#include "util/status.h"
+
+namespace pfql {
+
+/// A finite relation under set semantics.
+///
+/// Invariant: tuples are sorted ascending and distinct, and every tuple's
+/// arity equals the schema's. All mutators preserve the invariant.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  /// Builds from arbitrary tuples (sorts + dedups). Arity-checked.
+  static StatusOr<Relation> Make(Schema schema, std::vector<Tuple> tuples);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  /// Inserts a tuple (no-op if present). Returns true if newly added.
+  /// Tuple arity must match the schema.
+  bool Insert(Tuple t);
+
+  /// Removes a tuple if present; returns true if it was there.
+  bool Erase(const Tuple& t);
+
+  bool Contains(const Tuple& t) const;
+
+  /// Set ops require equal *arity*; the receiver's schema is kept.
+  /// (Column names may differ, matching the positional semantics of
+  /// datalog-produced relations.)
+  StatusOr<Relation> UnionWith(const Relation& other) const;
+  StatusOr<Relation> DifferenceWith(const Relation& other) const;
+  StatusOr<Relation> IntersectWith(const Relation& other) const;
+  bool IsSubsetOf(const Relation& other) const;
+
+  /// Equality compares tuple sets only (schemas may differ in names).
+  bool operator==(const Relation& o) const { return tuples_ == o.tuples_; }
+  bool operator!=(const Relation& o) const { return tuples_ != o.tuples_; }
+  int Compare(const Relation& other) const;
+  bool operator<(const Relation& o) const { return Compare(o) < 0; }
+
+  size_t Hash() const;
+
+  /// Multi-line display with header.
+  std::string ToString() const;
+
+ private:
+  Schema schema_;
+  std::vector<Tuple> tuples_;  // sorted, distinct
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Relation& r) {
+  return os << r.ToString();
+}
+
+}  // namespace pfql
+
+#endif  // PFQL_RELATIONAL_RELATION_H_

@@ -1,0 +1,42 @@
+#include "relational/tuple.h"
+
+#include "util/string_util.h"
+
+namespace pfql {
+
+Tuple Tuple::Project(const std::vector<size_t>& indices) const {
+  std::vector<Value> out;
+  out.reserve(indices.size());
+  for (size_t i : indices) out.push_back(values_[i]);
+  return Tuple(std::move(out));
+}
+
+int Tuple::Compare(const Tuple& other) const {
+  const size_t n = std::min(values_.size(), other.values_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = values_[i].Compare(other.values_[i]);
+    if (c != 0) return c;
+  }
+  if (values_.size() != other.values_.size()) {
+    return values_.size() < other.values_.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = values_.size();
+  for (const auto& v : values_) HashCombine(&h, v.Hash());
+  return h;
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace pfql

@@ -1,0 +1,54 @@
+// Tuples: fixed-arity vectors of Values with a canonical total order.
+#ifndef PFQL_RELATIONAL_TUPLE_H_
+#define PFQL_RELATIONAL_TUPLE_H_
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace pfql {
+
+/// An ordered list of Values. Tuples of the same arity are totally ordered
+/// lexicographically via Value::Compare, giving relations a canonical form.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  const Value& operator[](size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  /// New tuple with the values at `indices`, in that order.
+  Tuple Project(const std::vector<size_t>& indices) const;
+
+  /// Lexicographic comparison (shorter tuples order first on prefix ties).
+  int Compare(const Tuple& other) const;
+  bool operator==(const Tuple& o) const { return Compare(o) == 0; }
+  bool operator!=(const Tuple& o) const { return Compare(o) != 0; }
+  bool operator<(const Tuple& o) const { return Compare(o) < 0; }
+
+  size_t Hash() const;
+
+  /// "(1, a, 0.5)".
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return os << t.ToString();
+}
+
+}  // namespace pfql
+
+#endif  // PFQL_RELATIONAL_TUPLE_H_

@@ -1,0 +1,100 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace pfql {
+
+const char* ValueTypeToString(ValueType t) {
+  switch (t) {
+    case ValueType::kInt:
+      return "int";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+StatusOr<double> Value::ToNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return static_cast<double>(AsInt());
+    case ValueType::kDouble:
+      return AsDouble();
+    case ValueType::kString:
+      return Status::TypeError("string value '" + AsString() +
+                               "' used as a number");
+  }
+  return Status::Internal("corrupt Value");
+}
+
+StatusOr<BigRational> Value::ToExactNumeric() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return BigRational(AsInt());
+    case ValueType::kDouble:
+      return BigRational::FromDouble(AsDouble());
+    case ValueType::kString:
+      return Status::TypeError("string value '" + AsString() +
+                               "' used as a number");
+  }
+  return Status::Internal("corrupt Value");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return AsString();
+  }
+  return "<corrupt>";
+}
+
+int Value::Compare(const Value& other) const {
+  if (type() != other.type()) {
+    return static_cast<int>(type()) < static_cast<int>(other.type()) ? -1 : 1;
+  }
+  switch (type()) {
+    case ValueType::kInt: {
+      int64_t a = AsInt(), b = other.AsInt();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      double a = AsDouble(), b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    case ValueType::kString:
+      return AsString().compare(other.AsString()) < 0
+                 ? -1
+                 : (AsString() == other.AsString() ? 0 : 1);
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(type());
+  switch (type()) {
+    case ValueType::kInt:
+      HashCombine(&h, std::hash<int64_t>{}(AsInt()));
+      break;
+    case ValueType::kDouble:
+      HashCombine(&h, std::hash<double>{}(AsDouble()));
+      break;
+    case ValueType::kString:
+      HashCombine(&h, std::hash<std::string>{}(AsString()));
+      break;
+  }
+  return h;
+}
+
+}  // namespace pfql

@@ -1,0 +1,55 @@
+// Deterministic, fast pseudo-random number generation for sampling
+// algorithms. We implement xoshiro256** (Blackman & Vigna) from scratch so
+// that sampled query results are reproducible across platforms and standard
+// library versions (std::mt19937 distributions are not portable).
+#ifndef PFQL_UTIL_RANDOM_H_
+#define PFQL_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pfql {
+
+/// xoshiro256** pseudo-random generator with SplitMix64 seeding.
+///
+/// Satisfies the UniformRandomBitGenerator concept, but callers should use
+/// the member helpers (NextDouble, NextIndex, ...) which are deterministic
+/// across platforms.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the four 64-bit lanes from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0xdeadbeefcafef00dULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+  uint64_t operator()() { return Next(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform integer in [0, bound) without modulo bias. bound must be > 0.
+  uint64_t NextIndex(uint64_t bound);
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Samples an index from the (unnormalized, non-negative) weight vector.
+  /// Returns weights.size() if all weights are zero or the vector is empty.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Forks an independent stream (useful for per-thread sampling).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace pfql
+
+#endif  // PFQL_UTIL_RANDOM_H_

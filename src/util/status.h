@@ -1,0 +1,154 @@
+// Status and StatusOr: lightweight error propagation in the style of
+// Arrow/RocksDB/absl. Library code never throws across public API
+// boundaries; fallible operations return Status or StatusOr<T>.
+#ifndef PFQL_UTIL_STATUS_H_
+#define PFQL_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace pfql {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller supplied a malformed argument.
+  kNotFound,          ///< A named entity (relation, column, ...) is missing.
+  kAlreadyExists,     ///< An entity with that name already exists.
+  kOutOfRange,        ///< Index or numeric value outside the valid range.
+  kFailedPrecondition,///< Object state does not permit the operation.
+  kUnimplemented,     ///< Feature intentionally not implemented.
+  kResourceExhausted, ///< A configured limit (states, worlds, steps) was hit.
+  kParseError,        ///< Datalog / expression text failed to parse.
+  kTypeError,         ///< Schema or value type mismatch.
+  kInternal,          ///< Invariant violation; indicates a library bug.
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// The result of an operation that can fail: a code plus a message.
+/// An OK status carries no message and is cheap to copy.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Access to value() on an
+/// error aborts in debug builds; check ok() first.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: enables `return some_t;`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from an error status: enables `return Status::...;`.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "StatusOr constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;  // OK iff value_ engaged.
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define PFQL_RETURN_NOT_OK(expr)             \
+  do {                                       \
+    ::pfql::Status _st = (expr);             \
+    if (!_st.ok()) return _st;               \
+  } while (0)
+
+/// Evaluates a StatusOr expression, propagating errors; on success binds
+/// the value to `lhs`.
+#define PFQL_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+#define PFQL_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define PFQL_ASSIGN_OR_RETURN_NAME(a, b) PFQL_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define PFQL_ASSIGN_OR_RETURN(lhs, expr) \
+  PFQL_ASSIGN_OR_RETURN_IMPL(            \
+      PFQL_ASSIGN_OR_RETURN_NAME(_status_or_, __COUNTER__), lhs, expr)
+
+}  // namespace pfql
+
+#endif  // PFQL_UTIL_STATUS_H_

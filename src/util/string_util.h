@@ -1,0 +1,40 @@
+// Small string helpers shared across modules.
+#ifndef PFQL_UTIL_STRING_UTIL_H_
+#define PFQL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pfql {
+
+/// Joins the elements' string forms with `sep` in between.
+template <typename Container>
+std::string JoinStrings(const Container& items, std::string_view sep) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += sep;
+    first = false;
+    out += item;
+  }
+  return out;
+}
+
+/// Splits on a single character, keeping empty pieces.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Combines a hash into a seed (boost::hash_combine recipe, 64-bit).
+inline void HashCombine(size_t* seed, size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+}  // namespace pfql
+
+#endif  // PFQL_UTIL_STRING_UTIL_H_

@@ -1,0 +1,107 @@
+#include "datalog/provenance.h"
+
+#include <gtest/gtest.h>
+
+namespace pfql {
+namespace datalog {
+namespace {
+
+Instance ChainEdb() {
+  Instance edb;
+  Relation e(Schema({"i", "j"}));
+  e.Insert(Tuple{Value(1), Value(2)});
+  e.Insert(Tuple{Value(2), Value(3)});
+  e.Insert(Tuple{Value(9), Value(10)});
+  edb.Set("e", std::move(e));
+  return edb;
+}
+
+TEST(ProvenanceTest, BaseTuplesGetSingletonLineage) {
+  auto program = ParseProgram("t(X, Y) :- e(X, Y).");
+  ASSERT_TRUE(program.ok());
+  auto prov = ComputeProvenance(*program, ChainEdb());
+  ASSERT_TRUE(prov.ok()) << prov.status();
+  ASSERT_EQ(prov->base.size(), 3u);
+  for (size_t i = 0; i < prov->base.size(); ++i) {
+    const auto* lin = prov->Lineage(prov->base[i].first,
+                                    prov->base[i].second);
+    ASSERT_NE(lin, nullptr);
+    EXPECT_EQ(*lin, std::set<size_t>{i});
+  }
+}
+
+TEST(ProvenanceTest, DerivedTupleUnionsSources) {
+  auto program = ParseProgram(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), e(Y, Z).
+  )");
+  ASSERT_TRUE(program.ok());
+  auto prov = ComputeProvenance(*program, ChainEdb());
+  ASSERT_TRUE(prov.ok());
+  // t(1,3) derives from e(1,2) and e(2,3): lineage of size 2.
+  const auto* lin = prov->Lineage("t", Tuple{Value(1), Value(3)});
+  ASSERT_NE(lin, nullptr);
+  EXPECT_EQ(lin->size(), 2u);
+  // t(9,10) from the isolated edge only.
+  const auto* iso = prov->Lineage("t", Tuple{Value(9), Value(10)});
+  ASSERT_NE(iso, nullptr);
+  EXPECT_EQ(iso->size(), 1u);
+}
+
+TEST(ProvenanceTest, DerivableChecks) {
+  auto program = ParseProgram("t(X, Y) :- e(X, Y).");
+  ASSERT_TRUE(program.ok());
+  auto prov = ComputeProvenance(*program, ChainEdb());
+  ASSERT_TRUE(prov.ok());
+  EXPECT_TRUE(prov->Derivable("t", Tuple{Value(1), Value(2)}));
+  EXPECT_FALSE(prov->Derivable("t", Tuple{Value(1), Value(3)}));
+  EXPECT_FALSE(prov->Derivable("ghost", Tuple{Value(1)}));
+}
+
+TEST(ProvenanceTest, ChoiceGroupsRecordCompetitors) {
+  auto program = ParseProgram("pick(<K>, V) :- opts(K, V).");
+  ASSERT_TRUE(program.ok());
+  Instance edb;
+  Relation opts(Schema({"k", "v"}));
+  opts.Insert(Tuple{Value(1), Value("a")});
+  opts.Insert(Tuple{Value(1), Value("b")});
+  opts.Insert(Tuple{Value(2), Value("c")});
+  edb.Set("opts", std::move(opts));
+  auto prov = ComputeProvenance(*program, edb);
+  ASSERT_TRUE(prov.ok());
+  // One group with 2 competitors (key 1); the singleton group (key 2) is
+  // not recorded (no competition).
+  ASSERT_EQ(prov->choice_groups.size(), 1u);
+  EXPECT_EQ(prov->choice_groups[0].size(), 2u);
+}
+
+TEST(ProvenanceTest, DeterministicRulesHaveNoChoiceGroups) {
+  auto program = ParseProgram("t(X, Y) :- e(X, Y).");
+  ASSERT_TRUE(program.ok());
+  auto prov = ComputeProvenance(*program, ChainEdb());
+  ASSERT_TRUE(prov.ok());
+  EXPECT_TRUE(prov->choice_groups.empty());
+}
+
+TEST(ProvenanceTest, FactsHaveEmptyLineage) {
+  auto program = ParseProgram("start(go).\nt(X) :- start(X).");
+  ASSERT_TRUE(program.ok());
+  auto prov = ComputeProvenance(*program, Instance{});
+  ASSERT_TRUE(prov.ok());
+  const auto* lin = prov->Lineage("t", Tuple{Value("go")});
+  ASSERT_NE(lin, nullptr);
+  EXPECT_TRUE(lin->empty());  // derived from a fact, no base tuples
+}
+
+TEST(ProvenanceTest, BuiltinsRestrictDerivations) {
+  auto program = ParseProgram("t(X, Y) :- e(X, Y), X != 9.");
+  ASSERT_TRUE(program.ok());
+  auto prov = ComputeProvenance(*program, ChainEdb());
+  ASSERT_TRUE(prov.ok());
+  EXPECT_TRUE(prov->Derivable("t", Tuple{Value(1), Value(2)}));
+  EXPECT_FALSE(prov->Derivable("t", Tuple{Value(9), Value(10)}));
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace pfql

@@ -1,0 +1,62 @@
+#include "datalog/query_parse.h"
+
+#include <gtest/gtest.h>
+
+namespace pfql {
+namespace datalog {
+namespace {
+
+TEST(QueryParseTest, ParsesGroundAtoms) {
+  auto e = ParseGroundAtom("cur(3)");
+  ASSERT_TRUE(e.ok()) << e.status();
+  EXPECT_EQ(e->relation, "cur");
+  EXPECT_EQ(e->tuple, Tuple{Value(3)});
+
+  auto mixed = ParseGroundAtom("team(\"LA Lakers\", bryant, 2.5)");
+  ASSERT_TRUE(mixed.ok()) << mixed.status();
+  EXPECT_EQ(mixed->tuple,
+            (Tuple{Value("LA Lakers"), Value("bryant"), Value(2.5)}));
+}
+
+TEST(QueryParseTest, ParsesNullaryAtom) {
+  auto e = ParseGroundAtom("q");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->relation, "q");
+  EXPECT_TRUE(e->tuple.empty());
+  auto parens = ParseGroundAtom("q()");
+  ASSERT_TRUE(parens.ok());
+  EXPECT_TRUE(parens->tuple.empty());
+}
+
+TEST(QueryParseTest, AcceptsTrailingPeriod) {
+  auto e = ParseGroundAtom("done(yes).");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->tuple, Tuple{Value("yes")});
+}
+
+TEST(QueryParseTest, RejectsVariablesAndGarbage) {
+  EXPECT_FALSE(ParseGroundAtom("cur(X)").ok());      // variable
+  EXPECT_FALSE(ParseGroundAtom("cur(1,)").ok());     // dangling comma
+  EXPECT_FALSE(ParseGroundAtom("cur(1").ok());       // unclosed
+  EXPECT_FALSE(ParseGroundAtom("Cur(1)").ok());      // upper-case relation
+  EXPECT_FALSE(ParseGroundAtom("cur(1) x").ok());    // trailing input
+  EXPECT_FALSE(ParseGroundAtom("").ok());
+  EXPECT_FALSE(ParseGroundAtom("(1)").ok());
+}
+
+TEST(QueryParseTest, EventMatchesInstances) {
+  auto e = ParseGroundAtom("r(1, a)");
+  ASSERT_TRUE(e.ok());
+  Instance db;
+  Relation r(Schema({"x", "y"}));
+  r.Insert(Tuple{Value(1), Value("a")});
+  db.Set("r", std::move(r));
+  EXPECT_TRUE(e->Holds(db));
+  auto miss = ParseGroundAtom("r(2, a)");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->Holds(db));
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace pfql

@@ -1,0 +1,132 @@
+#include "eval/partition.h"
+
+#include "datalog/translate.h"
+
+#include <gtest/gtest.h>
+
+namespace pfql {
+namespace eval {
+namespace {
+
+// Program whose derivations stay within connected components of e.
+datalog::Program FlipPerComponent() {
+  auto program = datalog::ParseProgram("flip(<K>, V) :- opts(K, V).");
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+TEST(ComputePartitionTest, IndependentKeysSplit) {
+  // The alternatives of each repair-key group compete (same class), but
+  // distinct key groups are independent: exactly two classes of size 2.
+  Instance edb;
+  Relation opts(Schema({"k", "v"}));
+  opts.Insert(Tuple{Value("a"), Value(1)});
+  opts.Insert(Tuple{Value("a"), Value(2)});
+  opts.Insert(Tuple{Value("b"), Value(1)});
+  opts.Insert(Tuple{Value("b"), Value(2)});
+  edb.Set("opts", std::move(opts));
+  auto partition = ComputePartition(FlipPerComponent(), edb);
+  ASSERT_TRUE(partition.ok()) << partition.status();
+  ASSERT_EQ(partition->classes.size(), 2u);
+  EXPECT_EQ(partition->class_sizes[0], 2u);
+  EXPECT_EQ(partition->class_sizes[1], 2u);
+}
+
+TEST(ComputePartitionTest, JoinedTuplesMerge) {
+  // t(X, Z) :- e(X, Y), e(Y, Z): tuples sharing a middle node merge.
+  auto program = datalog::ParseProgram("t(X, Z) :- e(X, Y), e(Y, Z).");
+  ASSERT_TRUE(program.ok());
+  Instance edb;
+  Relation e(Schema({"i", "j"}));
+  e.Insert(Tuple{Value(1), Value(2)});
+  e.Insert(Tuple{Value(2), Value(3)});   // joins with the first
+  e.Insert(Tuple{Value(10), Value(11)}); // isolated
+  edb.Set("e", std::move(e));
+  auto partition = ComputePartition(*program, edb);
+  ASSERT_TRUE(partition.ok());
+  ASSERT_EQ(partition->classes.size(), 2u);
+  // One class has the two joined tuples, the other the isolated one.
+  std::vector<size_t> sizes = partition->class_sizes;
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<size_t>{1, 2}));
+}
+
+TEST(ComputePartitionTest, TransitiveChainMergesAll) {
+  auto program = datalog::ParseProgram(R"(
+    t(X, Y) :- e(X, Y).
+    t(X, Z) :- t(X, Y), e(Y, Z).
+  )");
+  ASSERT_TRUE(program.ok());
+  Instance edb;
+  Relation e(Schema({"i", "j"}));
+  e.Insert(Tuple{Value(1), Value(2)});
+  e.Insert(Tuple{Value(2), Value(3)});
+  e.Insert(Tuple{Value(3), Value(4)});
+  edb.Set("e", std::move(e));
+  auto partition = ComputePartition(*program, edb);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_EQ(partition->classes.size(), 1u);
+  EXPECT_EQ(partition->class_sizes[0], 3u);
+}
+
+TEST(ComputePartitionTest, EveryClassKeepsAllRelations) {
+  auto program = datalog::ParseProgram("t(X) :- a(X).\nu(X) :- b(X).");
+  ASSERT_TRUE(program.ok());
+  Instance edb;
+  Relation a(Schema({"x"})), b(Schema({"x"}));
+  a.Insert(Tuple{Value(1)});
+  b.Insert(Tuple{Value(2)});
+  edb.Set("a", std::move(a));
+  edb.Set("b", std::move(b));
+  auto partition = ComputePartition(*program, edb);
+  ASSERT_TRUE(partition.ok());
+  for (const auto& cls : partition->classes) {
+    EXPECT_TRUE(cls.Has("a"));
+    EXPECT_TRUE(cls.Has("b"));
+  }
+}
+
+TEST(PartitionedExactForeverTest, MatchesMonolithicEvaluation) {
+  // Two independent coins, event on one of them: partitioned result must
+  // equal the monolithic exact result (1/2), with smaller chains.
+  Instance edb;
+  Relation opts(Schema({"k", "v"}));
+  opts.Insert(Tuple{Value("a"), Value(1)});
+  opts.Insert(Tuple{Value("a"), Value(2)});
+  opts.Insert(Tuple{Value("b"), Value(1)});
+  opts.Insert(Tuple{Value("b"), Value(2)});
+  edb.Set("opts", std::move(opts));
+  QueryEvent event{"flip", Tuple{Value("a"), Value(1)}};
+
+  auto tq = datalog::TranslateNonInflationary(FlipPerComponent(), edb);
+  ASSERT_TRUE(tq.ok());
+  auto mono = ExactForever({tq->kernel, event}, tq->initial);
+  ASSERT_TRUE(mono.ok());
+
+  auto parted = PartitionedExactForever(FlipPerComponent(), edb, event);
+  ASSERT_TRUE(parted.ok()) << parted.status();
+  EXPECT_EQ(parted->probability, mono->probability);
+  EXPECT_EQ(parted->probability, BigRational(1, 2));
+
+  // Cost comparison: the partitioned state spaces are smaller than the
+  // monolithic one (4 classes of <= 3 states vs 3^2 joint states... the
+  // monolithic chain has states for each (flip_a, flip_b) combination).
+  size_t total_part_states = 0;
+  for (size_t s : parted->states_per_class) total_part_states += s;
+  EXPECT_LT(total_part_states, mono->num_states + parted->num_classes);
+}
+
+TEST(PartitionedExactForeverTest, EventInNoClassGivesZero) {
+  Instance edb;
+  Relation opts(Schema({"k", "v"}));
+  opts.Insert(Tuple{Value("a"), Value(1)});
+  edb.Set("opts", std::move(opts));
+  QueryEvent event{"flip", Tuple{Value("zzz"), Value(9)}};
+  auto parted = PartitionedExactForever(FlipPerComponent(), edb, event);
+  ASSERT_TRUE(parted.ok());
+  EXPECT_TRUE(parted->probability.IsZero());
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace pfql

@@ -1,0 +1,157 @@
+#include "eval/query.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/program.h"
+#include "gadgets/graphs.h"
+
+namespace pfql {
+namespace eval {
+namespace {
+
+Instance DiamondEdb() {
+  Instance edb;
+  Relation e(Schema({"i", "j", "p"}));
+  e.Insert(Tuple{Value(0), Value(1), Value(1)});
+  e.Insert(Tuple{Value(0), Value(2), Value(3)});
+  e.Insert(Tuple{Value(1), Value(3), Value(1)});
+  e.Insert(Tuple{Value(2), Value(3), Value(1)});
+  e.Insert(Tuple{Value(3), Value(3), Value(1)});
+  edb.Set("e", std::move(e));
+  return edb;
+}
+
+datalog::Program ReachProgram() {
+  auto program = datalog::ParseProgram(R"(
+    cur(0).
+    c2(<X>, Y) @P :- cur(X), e(X, Y, P).
+    cur(Y) :- c2(X, Y).
+  )");
+  EXPECT_TRUE(program.ok()) << program.status();
+  return std::move(program).value();
+}
+
+TEST(QueryFacadeTest, AutoPrefersExactWhenFeasible) {
+  QueryOptions options;
+  Rng rng(1);
+  auto result = EvaluateInflationaryQuery(
+      ReachProgram(), DiamondEdb(), {"cur", Tuple{Value(2)}}, options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->exact.has_value());
+  EXPECT_EQ(*result->exact, BigRational(3, 4));
+  EXPECT_FALSE(result->sampled);
+  EXPECT_GT(result->work, 0u);
+  EXPECT_NE(result->method_used.find("Prop 4.4"), std::string::npos);
+}
+
+TEST(QueryFacadeTest, AutoFallsBackToSampling) {
+  QueryOptions options;
+  options.exact.max_nodes = 1;  // force exhaustion
+  options.approx.epsilon = 0.05;
+  options.approx.delta = 0.02;
+  Rng rng(2);
+  auto result = EvaluateInflationaryQuery(
+      ReachProgram(), DiamondEdb(), {"cur", Tuple{Value(2)}}, options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->sampled);
+  EXPECT_FALSE(result->exact.has_value());
+  EXPECT_NEAR(result->estimate, 0.75, 0.06);
+}
+
+TEST(QueryFacadeTest, ExactOnlyPropagatesExhaustion) {
+  QueryOptions options;
+  options.method = Method::kExact;
+  options.exact.max_nodes = 1;
+  Rng rng(3);
+  auto result = EvaluateInflationaryQuery(
+      ReachProgram(), DiamondEdb(), {"cur", Tuple{Value(2)}}, options, &rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(QueryFacadeTest, SamplingOnlySkipsExact) {
+  QueryOptions options;
+  options.method = Method::kSampling;
+  options.approx.epsilon = 0.05;
+  options.approx.delta = 0.02;
+  Rng rng(4);
+  auto result = EvaluateInflationaryQuery(
+      ReachProgram(), DiamondEdb(), {"cur", Tuple{Value(1)}}, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->sampled);
+  EXPECT_NEAR(result->estimate, 0.25, 0.06);
+}
+
+TEST(QueryFacadeTest, SamplingWithoutRngIsError) {
+  QueryOptions options;
+  options.method = Method::kSampling;
+  auto result = EvaluateInflationaryQuery(
+      ReachProgram(), DiamondEdb(), {"cur", Tuple{Value(1)}}, options,
+      nullptr);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(QueryFacadeTest, ForeverExactPath) {
+  auto wq = gadgets::RandomWalkQuery(gadgets::Complete(4), 0);
+  ASSERT_TRUE(wq.ok());
+  QueryOptions options;
+  Rng rng(5);
+  auto result = EvaluateForeverQuery({wq->kernel, gadgets::WalkAtNode(1)},
+                                     wq->initial, options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->exact.has_value());
+  EXPECT_EQ(*result->exact, BigRational(1, 4));
+  EXPECT_EQ(result->work, 4u);
+  EXPECT_NE(result->method_used.find("Prop 5.4"), std::string::npos);
+}
+
+TEST(QueryFacadeTest, ForeverReducibleReportsThm55) {
+  gadgets::Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1, 1.0}, {0, 2, 3.0}, {1, 1, 1.0}, {2, 2, 1.0}};
+  auto wq = gadgets::RandomWalkQuery(g, 0);
+  ASSERT_TRUE(wq.ok());
+  QueryOptions options;
+  Rng rng(6);
+  auto result = EvaluateForeverQuery({wq->kernel, gadgets::WalkAtNode(2)},
+                                     wq->initial, options, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result->exact, BigRational(3, 4));
+  EXPECT_NE(result->method_used.find("Thm 5.5"), std::string::npos);
+}
+
+TEST(QueryFacadeTest, ForeverSamplingWithExplicitBurnIn) {
+  auto wq = gadgets::RandomWalkQuery(gadgets::Complete(4), 0);
+  ASSERT_TRUE(wq.ok());
+  QueryOptions options;
+  options.method = Method::kSampling;
+  options.approx.epsilon = 0.05;
+  options.approx.delta = 0.02;
+  options.mcmc_burn_in = 4;
+  Rng rng(7);
+  auto result = EvaluateForeverQuery({wq->kernel, gadgets::WalkAtNode(1)},
+                                     wq->initial, options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->sampled);
+  EXPECT_NEAR(result->estimate, 0.25, 0.06);
+}
+
+TEST(QueryFacadeTest, ForeverSamplingMeasuresBurnIn) {
+  auto wq = gadgets::RandomWalkQuery(gadgets::Cycle(6, /*lazy=*/true), 0);
+  ASSERT_TRUE(wq.ok());
+  QueryOptions options;
+  options.method = Method::kSampling;
+  options.approx.epsilon = 0.05;
+  options.approx.delta = 0.02;
+  Rng rng(8);
+  auto result = EvaluateForeverQuery({wq->kernel, gadgets::WalkAtNode(3)},
+                                     wq->initial, options, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->sampled);
+  EXPECT_NEAR(result->estimate, 1.0 / 6, 0.07);
+  EXPECT_NE(result->method_used.find("Thm 5.6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace pfql

@@ -1,0 +1,200 @@
+#include "gadgets/graphs.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/inflationary.h"
+#include "eval/noninflationary.h"
+
+namespace pfql {
+namespace gadgets {
+namespace {
+
+TEST(GraphGeneratorsTest, CycleShape) {
+  Graph g = Cycle(5);
+  EXPECT_EQ(g.num_nodes, 5);
+  EXPECT_EQ(g.edges.size(), 5u);
+  EXPECT_TRUE(g.EveryNodeHasOutEdge());
+  Graph lazy = Cycle(5, /*lazy=*/true);
+  EXPECT_EQ(lazy.edges.size(), 10u);
+}
+
+TEST(GraphGeneratorsTest, CompleteShape) {
+  Graph g = Complete(4);
+  EXPECT_EQ(g.edges.size(), 16u);
+  EXPECT_TRUE(g.EveryNodeHasOutEdge());
+}
+
+TEST(GraphGeneratorsTest, LineEndsWithSelfLoop) {
+  Graph g = Line(4);
+  EXPECT_TRUE(g.EveryNodeHasOutEdge());
+  bool self = false;
+  for (const auto& e : g.edges) {
+    if (e.from == 3 && e.to == 3) self = true;
+  }
+  EXPECT_TRUE(self);
+}
+
+TEST(GraphGeneratorsTest, HypercubeShape) {
+  Graph g = Hypercube(3);
+  EXPECT_EQ(g.num_nodes, 8);
+  // Each node: self-loop + 3 flips.
+  EXPECT_EQ(g.edges.size(), 32u);
+}
+
+TEST(GraphGeneratorsTest, BarbellConnected) {
+  Graph g = Barbell(3);
+  EXPECT_EQ(g.num_nodes, 7);
+  EXPECT_TRUE(g.EveryNodeHasOutEdge());
+}
+
+TEST(GraphGeneratorsTest, GridShape) {
+  Graph g = Grid(3, 4);
+  EXPECT_EQ(g.num_nodes, 12);
+  EXPECT_TRUE(g.EveryNodeHasOutEdge());
+  // Corner has self-loop + 2 neighbours; interior has self-loop + 4.
+  size_t corner_deg = 0, interior_deg = 0;
+  for (const auto& e : g.edges) {
+    if (e.from == 0) ++corner_deg;
+    if (e.from == 5) ++interior_deg;  // (1,1) is interior in 3x4
+  }
+  EXPECT_EQ(corner_deg, 3u);
+  EXPECT_EQ(interior_deg, 5u);
+}
+
+TEST(GraphGeneratorsTest, TorusGridRegular) {
+  Graph g = Grid(3, 3, /*torus=*/true);
+  for (int64_t v = 0; v < g.num_nodes; ++v) {
+    size_t deg = 0;
+    for (const auto& e : g.edges) {
+      if (e.from == v) ++deg;
+    }
+    EXPECT_EQ(deg, 5u) << v;  // self-loop + 4 wrap-around neighbours
+  }
+}
+
+TEST(GraphGeneratorsTest, StarStationaryFavorsHub) {
+  Graph g = Star(5);
+  EXPECT_TRUE(g.EveryNodeHasOutEdge());
+  auto wq = RandomWalkQuery(g, 1);
+  ASSERT_TRUE(wq.ok());
+  auto hub = eval::ExactForever({wq->kernel, WalkAtNode(0)}, wq->initial);
+  auto leaf = eval::ExactForever({wq->kernel, WalkAtNode(2)}, wq->initial);
+  ASSERT_TRUE(hub.ok());
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_GT(hub->probability, leaf->probability);
+  EXPECT_TRUE(hub->irreducible);
+  EXPECT_TRUE(hub->aperiodic);
+}
+
+TEST(GraphGeneratorsTest, RandomDigraphHasSelfLoops) {
+  Rng rng(1);
+  Graph g = RandomDigraph(6, 0.3, &rng);
+  EXPECT_TRUE(g.EveryNodeHasOutEdge());
+}
+
+TEST(GraphGeneratorsTest, EdgeRelationSchema) {
+  Relation e = Cycle(3).ToEdgeRelation();
+  EXPECT_EQ(e.schema(), Schema({"i", "j", "p"}));
+  EXPECT_EQ(e.size(), 3u);
+  // Integral weights stored as ints for exact arithmetic.
+  EXPECT_TRUE(e.tuples()[0][2].is_int());
+}
+
+TEST(RandomWalkQueryTest, RejectsBadInputs) {
+  EXPECT_FALSE(RandomWalkQuery(Cycle(3), 7).ok());
+  Graph no_out;
+  no_out.num_nodes = 2;
+  no_out.edges = {{0, 1, 1.0}};
+  EXPECT_FALSE(RandomWalkQuery(no_out, 0).ok());
+}
+
+TEST(RandomWalkQueryTest, Example33StationaryOnCycle) {
+  auto wq = RandomWalkQuery(Cycle(4), 0);
+  ASSERT_TRUE(wq.ok());
+  auto result = eval::ExactForever({wq->kernel, WalkAtNode(1)}, wq->initial);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->probability, BigRational(1, 4));
+}
+
+TEST(PageRankQueryTest, UniformGraphGivesUniformRank) {
+  // On a complete graph PageRank is uniform for any alpha.
+  auto wq = PageRankQuery(Complete(4), 0, 0.15);
+  ASSERT_TRUE(wq.ok()) << wq.status();
+  auto result = eval::ExactForever({wq->kernel, WalkAtNode(2)}, wq->initial);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->probability, BigRational(1, 4));
+}
+
+TEST(PageRankQueryTest, DanglingBiasReducedByJump) {
+  // Line graph 0 -> 1 -> 2 (2 absorbing without jumps): with the jump the
+  // chain is irreducible and node 0 has positive stationary mass.
+  auto wq = PageRankQuery(Line(3), 0, 0.2);
+  ASSERT_TRUE(wq.ok());
+  auto at0 = eval::ExactForever({wq->kernel, WalkAtNode(0)}, wq->initial);
+  ASSERT_TRUE(at0.ok()) << at0.status();
+  EXPECT_GT(at0->probability, BigRational(0));
+  EXPECT_TRUE(at0->irreducible);
+  // Node 2 (with self-loop) accumulates the most mass.
+  auto at2 = eval::ExactForever({wq->kernel, WalkAtNode(2)}, wq->initial);
+  ASSERT_TRUE(at2.ok());
+  EXPECT_GT(at2->probability, at0->probability);
+}
+
+TEST(PageRankQueryTest, RanksSumToOne) {
+  auto wq = PageRankQuery(Cycle(3), 0, 0.15);
+  ASSERT_TRUE(wq.ok());
+  BigRational total;
+  for (int64_t v = 0; v < 3; ++v) {
+    auto r = eval::ExactForever({wq->kernel, WalkAtNode(v)}, wq->initial);
+    ASSERT_TRUE(r.ok());
+    total += r->probability;
+  }
+  EXPECT_TRUE(total.IsOne());
+}
+
+TEST(PageRankQueryTest, RejectsBadAlpha) {
+  EXPECT_FALSE(PageRankQuery(Cycle(3), 0, 0.0).ok());
+  EXPECT_FALSE(PageRankQuery(Cycle(3), 0, 1.0).ok());
+}
+
+TEST(ReachabilityProgramTest, Example35ProbabilityOfReaching) {
+  // 0 -> {1 w.p. 1/4, 2 w.p. 3/4}; 1, 2 sinks with self-loops.
+  Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1, 1.0}, {0, 2, 3.0}, {1, 1, 1.0}, {2, 2, 1.0}};
+  auto gadget = ReachabilityProgram(g, 0, 2);
+  ASSERT_TRUE(gadget.ok());
+  auto p = eval::ExactInflationary(gadget->program, gadget->edb,
+                                   gadget->event);
+  ASSERT_TRUE(p.ok()) << p.status();
+  EXPECT_EQ(p.value(), BigRational(3, 4));
+}
+
+TEST(ReachabilityProgramTest, UnweightedVariantUniform) {
+  Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1, 5.0}, {0, 2, 95.0}, {1, 1, 1.0}, {2, 2, 1.0}};
+  auto gadget = ReachabilityProgram(g, 0, 2, /*weighted=*/false);
+  ASSERT_TRUE(gadget.ok());
+  auto p = eval::ExactInflationary(gadget->program, gadget->edb,
+                                   gadget->event);
+  ASSERT_TRUE(p.ok());
+  // Weights ignored: uniform choice 1/2.
+  EXPECT_EQ(p.value(), BigRational(1, 2));
+}
+
+TEST(ReachabilityProgramTest, UnreachableTargetZero) {
+  Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 0, 1.0}, {1, 1, 1.0}, {2, 2, 1.0}};
+  auto gadget = ReachabilityProgram(g, 0, 2);
+  ASSERT_TRUE(gadget.ok());
+  auto p = eval::ExactInflationary(gadget->program, gadget->edb,
+                                   gadget->event);
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p.value().IsZero());
+}
+
+}  // namespace
+}  // namespace gadgets
+}  // namespace pfql

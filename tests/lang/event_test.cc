@@ -1,0 +1,77 @@
+#include "lang/event.h"
+
+#include <gtest/gtest.h>
+
+namespace pfql {
+namespace {
+
+Instance TestDb() {
+  Instance db;
+  Relation e(Schema({"i", "j"}));
+  e.Insert(Tuple{Value(1), Value(2)});
+  e.Insert(Tuple{Value(2), Value(3)});
+  db.Set("e", std::move(e));
+  Relation c(Schema({"i"}));
+  c.Insert(Tuple{Value(1)});
+  db.Set("c", std::move(c));
+  return db;
+}
+
+TEST(EventExprTest, TupleIn) {
+  auto yes = EventExpr::TupleIn("c", Tuple{Value(1)});
+  auto no = EventExpr::TupleIn("c", Tuple{Value(9)});
+  auto missing = EventExpr::TupleIn("ghost", Tuple{Value(1)});
+  EXPECT_TRUE(yes->Holds(TestDb()).value());
+  EXPECT_FALSE(no->Holds(TestDb()).value());
+  EXPECT_FALSE(missing->Holds(TestDb()).value());
+}
+
+TEST(EventExprTest, FromQueryEvent) {
+  QueryEvent qe{"c", Tuple{Value(1)}};
+  EXPECT_TRUE(EventExpr::From(qe)->Holds(TestDb()).value());
+}
+
+TEST(EventExprTest, NonEmptyQuery) {
+  // "some edge leaves a node in c": nonempty(c ⋈ e).
+  auto q = EventExpr::NonEmpty(
+      RaExpr::Join(RaExpr::Base("c"), RaExpr::Base("e")));
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE((*q)->Holds(TestDb()).value());
+  // "some edge enters node 9": empty.
+  auto none = EventExpr::NonEmpty(RaExpr::Select(
+      RaExpr::Base("e"), Predicate::ColumnEquals("j", Value(9))));
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE((*none)->Holds(TestDb()).value());
+}
+
+TEST(EventExprTest, NonEmptyRejectsProbabilisticQueries) {
+  auto bad = EventExpr::NonEmpty(
+      RaExpr::RepairKey(RaExpr::Base("e"), RepairKeySpec{}));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_FALSE(EventExpr::NonEmpty(nullptr).ok());
+}
+
+TEST(EventExprTest, BooleanCombinations) {
+  auto in_c = EventExpr::TupleIn("c", Tuple{Value(1)});
+  auto in_e = EventExpr::TupleIn("e", Tuple{Value(9), Value(9)});
+  EXPECT_FALSE(EventExpr::And(in_c, in_e)->Holds(TestDb()).value());
+  EXPECT_TRUE(EventExpr::Or(in_c, in_e)->Holds(TestDb()).value());
+  EXPECT_TRUE(EventExpr::Not(in_e)->Holds(TestDb()).value());
+  EXPECT_FALSE(EventExpr::Not(in_c)->Holds(TestDb()).value());
+}
+
+TEST(EventExprTest, ErrorsPropagate) {
+  // Non-empty over a query referencing a missing relation fails at Holds.
+  auto q = EventExpr::NonEmpty(RaExpr::Base("ghost"));
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE((*q)->Holds(TestDb()).ok());
+}
+
+TEST(EventExprTest, ToStringShapes) {
+  auto e = EventExpr::And(EventExpr::TupleIn("c", Tuple{Value(1)}),
+                          EventExpr::Not(EventExpr::TupleIn("e", Tuple{})));
+  EXPECT_EQ(e->ToString(), "((1) in c and not (() in e))");
+}
+
+}  // namespace
+}  // namespace pfql

@@ -1,0 +1,134 @@
+#include "markov/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace pfql {
+namespace {
+
+TEST(DenseMatrixTest, IdentityMultiplication) {
+  DenseMatrix id = DenseMatrix::Identity(3);
+  DenseMatrix m(3, 3);
+  int v = 1;
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) m.at(i, j) = v++;
+  }
+  auto prod = m.Multiply(id);
+  ASSERT_TRUE(prod.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(prod->at(i, j), m.at(i, j));
+    }
+  }
+}
+
+TEST(DenseMatrixTest, MultiplyKnownValues) {
+  DenseMatrix a(2, 3), b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6}, bv[] = {7, 8, 9, 10, 11, 12};
+  for (int i = 0; i < 6; ++i) {
+    a.at(i / 3, i % 3) = av[i];
+    b.at(i / 2, i % 2) = bv[i];
+  }
+  auto c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ(c->at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c->at(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c->at(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c->at(1, 1), 154);
+  EXPECT_FALSE(b.Multiply(b).ok());  // 3x2 * 3x2 mismatched
+}
+
+TEST(DenseMatrixTest, LeftMultiply) {
+  DenseMatrix m(2, 2);
+  m.at(0, 0) = 0.5;
+  m.at(0, 1) = 0.5;
+  m.at(1, 0) = 0.0;
+  m.at(1, 1) = 1.0;
+  auto v = m.LeftMultiply({1.0, 0.0});
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v.value()[0], 0.5);
+  EXPECT_DOUBLE_EQ(v.value()[1], 0.5);
+  EXPECT_FALSE(m.LeftMultiply({1.0}).ok());
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix m(2, 3);
+  m.at(0, 2) = 5.0;
+  DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t.at(2, 0), 5.0);
+}
+
+TEST(SolveLinearSystemTest, Solves2x2) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 2;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 3;
+  auto x = SolveLinearSystem(a, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemTest, DetectsSingular) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1;
+  a.at(0, 1) = 2;
+  a.at(1, 0) = 2;
+  a.at(1, 1) = 4;
+  EXPECT_FALSE(SolveLinearSystem(a, {1, 2}).ok());
+}
+
+TEST(SolveLinearSystemTest, RequiresPivoting) {
+  // Zero on the diagonal forces a row swap.
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 0;
+  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;
+  a.at(1, 1) = 0;
+  auto x = SolveLinearSystem(a, {3, 7});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 7.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystemFieldTest, ExactRationalSolve) {
+  // x + y = 1, x - y = 1/3  =>  x = 2/3, y = 1/3.
+  std::vector<std::vector<BigRational>> a{
+      {BigRational(1), BigRational(1)},
+      {BigRational(1), BigRational(-1)}};
+  std::vector<BigRational> b{BigRational(1), BigRational(1, 3)};
+  auto x = SolveLinearSystemField<BigRational>(std::move(a), std::move(b));
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x.value()[0], BigRational(2, 3));
+  EXPECT_EQ(x.value()[1], BigRational(1, 3));
+}
+
+TEST(SolveLinearSystemFieldTest, ExactSingularDetected) {
+  std::vector<std::vector<BigRational>> a{
+      {BigRational(1), BigRational(2)},
+      {BigRational(2), BigRational(4)}};
+  std::vector<BigRational> b{BigRational(1), BigRational(2)};
+  EXPECT_FALSE(
+      SolveLinearSystemField<BigRational>(std::move(a), std::move(b)).ok());
+}
+
+TEST(SolveLinearSystemFieldTest, RejectsMalformedSystems) {
+  std::vector<std::vector<BigRational>> nonsquare{
+      {BigRational(1), BigRational(2)}};
+  std::vector<BigRational> b{BigRational(1)};
+  EXPECT_FALSE(
+      SolveLinearSystemField<BigRational>(std::move(nonsquare), std::move(b))
+          .ok());
+  std::vector<std::vector<BigRational>> square{{BigRational(1)}};
+  std::vector<BigRational> wrong_b{BigRational(1), BigRational(2)};
+  EXPECT_FALSE(
+      SolveLinearSystemField<BigRational>(std::move(square),
+                                          std::move(wrong_b))
+          .ok());
+}
+
+}  // namespace
+}  // namespace pfql

@@ -1,0 +1,110 @@
+#include "markov/state_space.h"
+
+#include <gtest/gtest.h>
+
+namespace pfql {
+namespace {
+
+// Random walk on 1 -> {2 w.p. 1/4, 3 w.p. 3/4}, 2 and 3 absorbing.
+Instance WalkInstance() {
+  Instance db;
+  Relation e(Schema({"i", "j", "p"}));
+  e.Insert(Tuple{Value(1), Value(2), Value(1)});
+  e.Insert(Tuple{Value(1), Value(3), Value(3)});
+  e.Insert(Tuple{Value(2), Value(2), Value(1)});
+  e.Insert(Tuple{Value(3), Value(3), Value(1)});
+  db.Set("e", std::move(e));
+  Relation c(Schema({"i"}));
+  c.Insert(Tuple{Value(1)});
+  db.Set("cur", std::move(c));
+  return db;
+}
+
+Interpretation WalkKernel() {
+  RepairKeySpec spec;
+  spec.key_columns = {"i"};
+  spec.weight_column = "p";
+  Interpretation q;
+  q.Define("cur",
+           RaExpr::Rename(
+               RaExpr::Project(
+                   RaExpr::RepairKey(
+                       RaExpr::Join(RaExpr::Base("cur"), RaExpr::Base("e")),
+                       spec),
+                   {"j"}),
+               {{"j", "i"}}));
+  return q;
+}
+
+TEST(StateSpaceTest, ExploresReachableInstances) {
+  auto space = BuildStateSpace(WalkKernel(), WalkInstance());
+  ASSERT_TRUE(space.ok());
+  // States: cur = {1}, {2}, {3}.
+  EXPECT_EQ(space->states.size(), 3u);
+  EXPECT_EQ(space->chain.num_states(), 3u);
+  EXPECT_TRUE(space->chain.Validate().ok());
+  // states[0] is the initial instance.
+  EXPECT_EQ(space->states[0], WalkInstance());
+}
+
+TEST(StateSpaceTest, TransitionProbabilitiesExact) {
+  auto space = BuildStateSpace(WalkKernel(), WalkInstance());
+  ASSERT_TRUE(space.ok());
+  const auto& row = space->chain.Row(0);
+  ASSERT_EQ(row.size(), 2u);
+  BigRational total;
+  for (const auto& [_, p] : row) total += p;
+  EXPECT_TRUE(total.IsOne());
+}
+
+TEST(StateSpaceTest, EventStatesIndicator) {
+  auto space = BuildStateSpace(WalkKernel(), WalkInstance());
+  ASSERT_TRUE(space.ok());
+  QueryEvent at3{"cur", Tuple{Value(3)}};
+  auto indicator = space->EventStates(at3);
+  size_t hits = 0;
+  for (bool b : indicator) {
+    if (b) ++hits;
+  }
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST(StateSpaceTest, LongRunProbabilityOfAbsorption) {
+  auto space = BuildStateSpace(WalkKernel(), WalkInstance());
+  ASSERT_TRUE(space.ok());
+  QueryEvent at3{"cur", Tuple{Value(3)}};
+  auto indicator = space->EventStates(at3);
+  auto p = space->chain.ExactLongRunProbability(
+      0, [&](size_t s) { return indicator[s]; });
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.value(), BigRational(3, 4));
+}
+
+TEST(StateSpaceTest, IndexOfFindsStates) {
+  auto space = BuildStateSpace(WalkKernel(), WalkInstance());
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->IndexOf(WalkInstance()), 0u);
+  Instance ghost;
+  EXPECT_EQ(space->IndexOf(ghost), SIZE_MAX);
+}
+
+TEST(StateSpaceTest, MaxStatesGuard) {
+  StateSpaceOptions options;
+  options.max_states = 2;
+  auto space = BuildStateSpace(WalkKernel(), WalkInstance(), options);
+  EXPECT_FALSE(space.ok());
+  EXPECT_EQ(space.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StateSpaceTest, DeterministicKernelSingleSuccessor) {
+  Interpretation q;
+  q.Define("cur", RaExpr::Base("cur"));  // identity
+  auto space = BuildStateSpace(q, WalkInstance());
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->states.size(), 1u);
+  ASSERT_EQ(space->chain.Row(0).size(), 1u);
+  EXPECT_TRUE(space->chain.Row(0)[0].second.IsOne());
+}
+
+}  // namespace
+}  // namespace pfql

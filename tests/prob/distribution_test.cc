@@ -1,0 +1,169 @@
+#include "prob/distribution.h"
+
+#include <gtest/gtest.h>
+
+namespace pfql {
+namespace {
+
+TEST(DistributionTest, PointDistribution) {
+  auto d = Distribution<int>::Point(42);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.outcomes()[0].value, 42);
+  EXPECT_TRUE(d.outcomes()[0].probability.IsOne());
+  EXPECT_TRUE(d.ValidateProper().ok());
+}
+
+TEST(DistributionTest, NormalizeMergesDuplicates) {
+  Distribution<int> d;
+  d.Add(1, BigRational(1, 4));
+  d.Add(2, BigRational(1, 2));
+  d.Add(1, BigRational(1, 4));
+  d.Normalize();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.outcomes()[0].value, 1);
+  EXPECT_EQ(d.outcomes()[0].probability, BigRational(1, 2));
+  EXPECT_TRUE(d.ValidateProper().ok());
+}
+
+TEST(DistributionTest, AddZeroWeightIgnored) {
+  Distribution<int> d;
+  d.Add(1, BigRational(0));
+  d.Add(2, BigRational(1));
+  d.Normalize();
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DistributionTest, ValidateDetectsBadMass) {
+  Distribution<int> d;
+  d.Add(1, BigRational(1, 3));
+  EXPECT_FALSE(d.ValidateProper().ok());
+  d.Add(2, BigRational(2, 3));
+  d.Normalize();
+  EXPECT_TRUE(d.ValidateProper().ok());
+}
+
+TEST(DistributionTest, ProbabilityOfPredicate) {
+  Distribution<int> d;
+  d.Add(1, BigRational(1, 6));
+  d.Add(2, BigRational(2, 6));
+  d.Add(3, BigRational(3, 6));
+  d.Normalize();
+  EXPECT_EQ(d.ProbabilityOf([](const int& v) { return v % 2 == 1; }),
+            BigRational(2, 3));
+  EXPECT_EQ(d.ProbabilityOf([](const int&) { return false; }),
+            BigRational(0));
+}
+
+TEST(DistributionTest, MapMergesCollidingImages) {
+  Distribution<int> d;
+  d.Add(1, BigRational(1, 2));
+  d.Add(-1, BigRational(1, 2));
+  d.Normalize();
+  auto squared = d.Map<int>([](const int& v) { return v * v; });
+  ASSERT_EQ(squared.size(), 1u);
+  EXPECT_EQ(squared.outcomes()[0].value, 1);
+  EXPECT_TRUE(squared.outcomes()[0].probability.IsOne());
+}
+
+TEST(DistributionTest, AndThenChainsDistributions) {
+  // Coin flip, then a biased second flip depending on the first.
+  Distribution<int> first;
+  first.Add(0, BigRational(1, 2));
+  first.Add(1, BigRational(1, 2));
+  first.Normalize();
+  auto chained = first.AndThen<int>([](const int& v) {
+    Distribution<int> next;
+    if (v == 0) {
+      next.Add(10, BigRational(1));
+    } else {
+      next.Add(10, BigRational(1, 3));
+      next.Add(20, BigRational(2, 3));
+    }
+    next.Normalize();
+    return next;
+  });
+  EXPECT_TRUE(chained.ValidateProper().ok());
+  EXPECT_EQ(chained.ProbabilityOf([](const int& v) { return v == 10; }),
+            BigRational(2, 3));
+  EXPECT_EQ(chained.ProbabilityOf([](const int& v) { return v == 20; }),
+            BigRational(1, 3));
+}
+
+TEST(DistributionTest, IndependentProduct) {
+  Distribution<int> a, b;
+  a.Add(0, BigRational(1, 2));
+  a.Add(1, BigRational(1, 2));
+  a.Normalize();
+  b.Add(0, BigRational(1, 3));
+  b.Add(1, BigRational(2, 3));
+  b.Normalize();
+  auto sum = Distribution<int>::Independent<int, int>(
+      a, b, [](const int& x, const int& y) { return x + y; });
+  EXPECT_TRUE(sum.ValidateProper().ok());
+  EXPECT_EQ(sum.ProbabilityOf([](const int& v) { return v == 0; }),
+            BigRational(1, 6));
+  EXPECT_EQ(sum.ProbabilityOf([](const int& v) { return v == 1; }),
+            BigRational(1, 2));
+  EXPECT_EQ(sum.ProbabilityOf([](const int& v) { return v == 2; }),
+            BigRational(1, 3));
+}
+
+TEST(DistributionTest, SampleMatchesWeights) {
+  Distribution<int> d;
+  d.Add(1, BigRational(1, 4));
+  d.Add(2, BigRational(3, 4));
+  d.Normalize();
+  Rng rng(42);
+  int ones = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto v = d.Sample(&rng);
+    ASSERT_TRUE(v.ok());
+    if (*v == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(n), 0.25, 0.01);
+}
+
+TEST(DistributionTest, SampleEmptyFails) {
+  Distribution<int> d;
+  Rng rng(1);
+  EXPECT_FALSE(d.Sample(&rng).ok());
+}
+
+TEST(DistributionTest, TopKOrdersByProbability) {
+  Distribution<int> d;
+  d.Add(10, BigRational(1, 10));
+  d.Add(20, BigRational(6, 10));
+  d.Add(30, BigRational(3, 10));
+  d.Normalize();
+  auto top2 = d.TopK(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].value, 20);
+  EXPECT_EQ(top2[1].value, 30);
+  EXPECT_EQ(d.TopK(99).size(), 3u);
+  EXPECT_TRUE(d.TopK(0).empty());
+}
+
+TEST(DistributionTest, EntropyBits) {
+  Distribution<int> point = Distribution<int>::Point(1);
+  EXPECT_DOUBLE_EQ(point.EntropyBits(), 0.0);
+  Distribution<int> coin;
+  coin.Add(0, BigRational(1, 2));
+  coin.Add(1, BigRational(1, 2));
+  coin.Normalize();
+  EXPECT_NEAR(coin.EntropyBits(), 1.0, 1e-12);
+  Distribution<int> quad;
+  for (int i = 0; i < 4; ++i) quad.Add(i, BigRational(1, 4));
+  quad.Normalize();
+  EXPECT_NEAR(quad.EntropyBits(), 2.0, 1e-12);
+}
+
+TEST(DistributionTest, TotalMassSums) {
+  Distribution<int> d;
+  d.Add(1, BigRational(1, 8));
+  d.Add(2, BigRational(1, 8));
+  EXPECT_EQ(d.TotalMass(), BigRational(1, 4));
+}
+
+}  // namespace
+}  // namespace pfql

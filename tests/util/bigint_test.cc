@@ -1,0 +1,199 @@
+#include "util/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace pfql {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.IsNegative());
+  EXPECT_EQ(z.ToString(), "0");
+}
+
+TEST(BigIntTest, FromInt64RoundTrips) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, int64_t{42},
+                    int64_t{-123456789}, INT64_MAX, INT64_MIN}) {
+    BigInt b(v);
+    auto back = b.ToInt64();
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(back.value(), v);
+    EXPECT_EQ(b.ToString(), std::to_string(v));
+  }
+}
+
+TEST(BigIntTest, Int64MinHandledWithoutOverflow) {
+  BigInt b(INT64_MIN);
+  EXPECT_EQ(b.ToString(), "-9223372036854775808");
+  EXPECT_TRUE((-b).ToInt64().ok() == false ||
+              (-b).ToString() == "9223372036854775808");
+  EXPECT_EQ((-b).ToString(), "9223372036854775808");
+}
+
+TEST(BigIntTest, AdditionBasics) {
+  EXPECT_EQ((BigInt(2) + BigInt(3)).ToString(), "5");
+  EXPECT_EQ((BigInt(-2) + BigInt(3)).ToString(), "1");
+  EXPECT_EQ((BigInt(2) + BigInt(-3)).ToString(), "-1");
+  EXPECT_EQ((BigInt(-2) + BigInt(-3)).ToString(), "-5");
+  EXPECT_EQ((BigInt(5) + BigInt(-5)).ToString(), "0");
+}
+
+TEST(BigIntTest, CarryPropagation) {
+  BigInt a(int64_t{0xffffffff});
+  EXPECT_EQ((a + BigInt(1)).ToString(), "4294967296");
+  BigInt b = BigInt::Pow(BigInt(2), 64) - BigInt(1);
+  EXPECT_EQ((b + BigInt(1)).ToString(), "18446744073709551616");
+}
+
+TEST(BigIntTest, MultiplicationBasics) {
+  EXPECT_EQ((BigInt(6) * BigInt(7)).ToString(), "42");
+  EXPECT_EQ((BigInt(-6) * BigInt(7)).ToString(), "-42");
+  EXPECT_EQ((BigInt(-6) * BigInt(-7)).ToString(), "42");
+  EXPECT_EQ((BigInt(0) * BigInt(12345)).ToString(), "0");
+}
+
+TEST(BigIntTest, LargeMultiplicationKnownValue) {
+  // 2^128 computed two ways.
+  BigInt p64 = BigInt::Pow(BigInt(2), 64);
+  EXPECT_EQ((p64 * p64).ToString(), "340282366920938463463374607431768211456");
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 128).ToString(),
+            "340282366920938463463374607431768211456");
+}
+
+TEST(BigIntTest, FactorialKnownValue) {
+  BigInt f(1);
+  for (int i = 2; i <= 30; ++i) f *= BigInt(i);
+  EXPECT_EQ(f.ToString(), "265252859812191058636308480000000");
+}
+
+TEST(BigIntTest, DivisionBasics) {
+  EXPECT_EQ((BigInt(42) / BigInt(7)).ToString(), "6");
+  EXPECT_EQ((BigInt(43) / BigInt(7)).ToString(), "6");
+  EXPECT_EQ((BigInt(43) % BigInt(7)).ToString(), "1");
+  EXPECT_EQ((BigInt(-43) / BigInt(7)).ToString(), "-6");
+  EXPECT_EQ((BigInt(-43) % BigInt(7)).ToString(), "-1");
+  EXPECT_EQ((BigInt(43) / BigInt(-7)).ToString(), "-6");
+}
+
+TEST(BigIntTest, DivisionLargeByLarge) {
+  BigInt a = BigInt::Pow(BigInt(10), 40);
+  BigInt b = BigInt::Pow(BigInt(10), 20);
+  EXPECT_EQ((a / b).ToString(), b.ToString());
+  EXPECT_TRUE((a % b).IsZero());
+}
+
+TEST(BigIntTest, DivModReconstructsDividend) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    BigInt a(static_cast<int64_t>(rng.Next() >> 1));
+    BigInt b(static_cast<int64_t>((rng.Next() >> 40) + 1));
+    a = a * BigInt(static_cast<int64_t>(rng.Next() >> 32));  // widen
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r.Abs() < b.Abs());
+  }
+}
+
+TEST(BigIntTest, CompareOrdering) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(3), BigInt(5));
+  EXPECT_EQ(BigInt(7), BigInt(7));
+  EXPECT_LT(BigInt(7), BigInt::Pow(BigInt(2), 100));
+  EXPECT_LT(-BigInt::Pow(BigInt(2), 100), BigInt(-7));
+}
+
+TEST(BigIntTest, GcdKnownValues) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToString(), "5");
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToString(), "1");
+}
+
+TEST(BigIntTest, PowEdgeCases) {
+  EXPECT_EQ(BigInt::Pow(BigInt(5), 0).ToString(), "1");
+  EXPECT_EQ(BigInt::Pow(BigInt(5), 1).ToString(), "5");
+  EXPECT_EQ(BigInt::Pow(BigInt(0), 5).ToString(), "0");
+  EXPECT_EQ(BigInt::Pow(BigInt(-2), 3).ToString(), "-8");
+  EXPECT_EQ(BigInt::Pow(BigInt(-2), 4).ToString(), "16");
+}
+
+TEST(BigIntTest, FromStringRoundTrip) {
+  for (const char* s :
+       {"0", "1", "-1", "123456789012345678901234567890",
+        "-999999999999999999999999"}) {
+    auto v = BigInt::FromString(s);
+    ASSERT_TRUE(v.ok()) << s;
+    EXPECT_EQ(v.value().ToString(), s);
+  }
+}
+
+TEST(BigIntTest, FromStringRejectsGarbage) {
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a").ok());
+  EXPECT_FALSE(BigInt::FromString("1.5").ok());
+}
+
+TEST(BigIntTest, NegativeZeroNormalized) {
+  auto v = BigInt::FromString("-0");
+  ASSERT_TRUE(v.ok());
+  EXPECT_FALSE(v.value().IsNegative());
+  EXPECT_EQ(v.value(), BigInt(0));
+}
+
+TEST(BigIntTest, ToDoubleApproximates) {
+  EXPECT_DOUBLE_EQ(BigInt(12345).ToDouble(), 12345.0);
+  EXPECT_DOUBLE_EQ(BigInt(-12345).ToDouble(), -12345.0);
+  EXPECT_NEAR(BigInt::Pow(BigInt(2), 70).ToDouble(), std::pow(2.0, 70),
+              1e-6 * std::pow(2.0, 70));
+}
+
+TEST(BigIntTest, BitLength) {
+  EXPECT_EQ(BigInt(0).BitLength(), 0u);
+  EXPECT_EQ(BigInt(1).BitLength(), 1u);
+  EXPECT_EQ(BigInt(2).BitLength(), 2u);
+  EXPECT_EQ(BigInt(255).BitLength(), 8u);
+  EXPECT_EQ(BigInt(256).BitLength(), 9u);
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 100).BitLength(), 101u);
+}
+
+TEST(BigIntTest, HashEqualForEqualValues) {
+  BigInt a = BigInt::Pow(BigInt(3), 50);
+  BigInt b = BigInt::Pow(BigInt(3), 50);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+// Property sweep: ring axioms on random values.
+class BigIntPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BigIntPropertyTest, RingAxioms) {
+  Rng rng(GetParam());
+  auto random_big = [&rng]() {
+    BigInt v(static_cast<int64_t>(rng.Next()));
+    if (rng.NextBernoulli(0.5)) v = v * BigInt(static_cast<int64_t>(rng.Next() >> 16));
+    return v;
+  };
+  BigInt a = random_big(), b = random_big(), c = random_big();
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a - a, BigInt(0));
+  EXPECT_EQ(a + BigInt(0), a);
+  EXPECT_EQ(a * BigInt(1), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                           12, 13, 14, 15, 16));
+
+}  // namespace
+}  // namespace pfql

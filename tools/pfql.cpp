@@ -1,0 +1,209 @@
+// pfql: command-line driver for probabilistic fixpoint queries.
+//
+//   pfql parse     --program prog.dl
+//   pfql run       --program prog.dl --data db.txt [--seed N]
+//   pfql exact     --program prog.dl --data db.txt --event 'cur(3)'
+//   pfql approx    --program prog.dl --data db.txt --event 'cur(3)'
+//                  [--epsilon E] [--delta D] [--seed N]
+//   pfql forever   --program prog.dl --data db.txt --event 'cur(3)'
+//                  [--max-states N]           (noninflationary exact)
+//   pfql mcmc      --program prog.dl --data db.txt --event 'cur(3)'
+//                  [--burn-in N | auto] [--epsilon E] [--delta D] [--seed N]
+//   pfql partition --program prog.dl --data db.txt --event 'cur(3)'
+//
+// Programs use the datalog syntax of datalog/ast.h; data files use the
+// relational/text_io.h instance format; events are ground atoms.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "datalog/engine.h"
+#include "datalog/query_parse.h"
+#include "datalog/lexer.h"
+#include "datalog/translate.h"
+#include "eval/inflationary.h"
+#include "eval/noninflationary.h"
+#include "eval/partition.h"
+#include "relational/text_io.h"
+
+using namespace pfql;
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pfql <parse|run|exact|approx|forever|mcmc|partition>\n"
+      "            --program FILE [--data FILE] [--event 'rel(v, ...)']\n"
+      "            [--epsilon E] [--delta D] [--seed N]\n"
+      "            [--max-states N] [--burn-in N|auto]\n");
+  return 2;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct Args {
+  std::string mode;
+  std::map<std::string, std::string> options;
+
+  bool Has(const std::string& key) const { return options.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+StatusOr<Args> ParseArgs(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing mode");
+  Args args;
+  args.mode = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected argument '" + key + "'");
+    }
+    key = key.substr(2);
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("missing value for --" + key);
+    }
+    args.options[key] = argv[++i];
+  }
+  return args;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args_or = ParseArgs(argc, argv);
+  if (!args_or.ok()) return Usage();
+  const Args& args = *args_or;
+
+  if (!args.Has("program")) return Usage();
+  auto program_text = ReadFile(args.Get("program", ""));
+  if (!program_text.ok()) return Fail(program_text.status());
+  auto program = datalog::ParseProgram(*program_text);
+  if (!program.ok()) return Fail(program.status());
+
+  if (args.mode == "parse") {
+    std::printf("%s", program->ToString().c_str());
+    std::printf("%% EDB:");
+    for (const auto& p : program->edb_predicates()) {
+      std::printf(" %s/%zu", p.c_str(), program->arities().at(p));
+    }
+    std::printf("\n%% IDB:");
+    for (const auto& p : program->idb_predicates()) {
+      std::printf(" %s/%zu", p.c_str(), program->arities().at(p));
+    }
+    std::printf("\n%% linear: %s, probabilistic rules: %s\n",
+                program->IsLinear() ? "yes" : "no",
+                program->HasProbabilisticRules() ? "yes" : "no");
+    return 0;
+  }
+
+  if (!args.Has("data")) return Usage();
+  auto edb = LoadInstanceFile(args.Get("data", ""));
+  if (!edb.ok()) return Fail(edb.status());
+
+  const uint64_t seed = std::stoull(args.Get("seed", "42"));
+  Rng rng(seed);
+
+  if (args.mode == "run") {
+    auto engine = datalog::InflationaryEngine::Make(*program, *edb);
+    if (!engine.ok()) return Fail(engine.status());
+    auto fixpoint = engine->RunToFixpoint(&rng);
+    if (!fixpoint.ok()) return Fail(fixpoint.status());
+    std::printf("%% fixpoint after %zu steps\n%s",
+                engine->steps_taken(),
+                FormatInstance(*fixpoint).c_str());
+    return 0;
+  }
+
+  if (!args.Has("event")) return Usage();
+  auto event = datalog::ParseGroundAtom(args.Get("event", ""));
+  if (!event.ok()) return Fail(event.status());
+
+  if (args.mode == "exact") {
+    auto p = eval::ExactInflationary(*program, *edb, *event);
+    if (!p.ok()) return Fail(p.status());
+    std::printf("Pr[%s] = %s (%.6f)\n", event->ToString().c_str(),
+                p->ToString().c_str(), p->ToDouble());
+    return 0;
+  }
+  if (args.mode == "approx") {
+    eval::ApproxParams params;
+    params.epsilon = std::stod(args.Get("epsilon", "0.05"));
+    params.delta = std::stod(args.Get("delta", "0.05"));
+    auto r = eval::ApproxInflationary(*program, *edb, *event, params, &rng);
+    if (!r.ok()) return Fail(r.status());
+    std::printf("Pr[%s] ~= %.6f  (%zu samples, eps=%g, delta=%g)\n",
+                event->ToString().c_str(), r->estimate, r->samples,
+                params.epsilon, params.delta);
+    return 0;
+  }
+  if (args.mode == "forever") {
+    auto tq = datalog::TranslateNonInflationary(*program, *edb);
+    if (!tq.ok()) return Fail(tq.status());
+    StateSpaceOptions options;
+    options.max_states = std::stoull(args.Get("max-states", "16384"));
+    auto r = eval::ExactForever({tq->kernel, *event}, tq->initial, options);
+    if (!r.ok()) return Fail(r.status());
+    std::printf(
+        "Pr[%s] = %s (%.6f)\n%% %zu states, %zu SCCs (%zu bottom), %s, %s\n",
+        event->ToString().c_str(), r->probability.ToString().c_str(),
+        r->probability.ToDouble(), r->num_states, r->num_components,
+        r->num_bottom, r->irreducible ? "irreducible" : "reducible",
+        r->aperiodic ? "aperiodic" : "periodic");
+    return 0;
+  }
+  if (args.mode == "mcmc") {
+    auto tq = datalog::TranslateNonInflationary(*program, *edb);
+    if (!tq.ok()) return Fail(tq.status());
+    eval::McmcParams params;
+    params.epsilon = std::stod(args.Get("epsilon", "0.05"));
+    params.delta = std::stod(args.Get("delta", "0.05"));
+    std::string burn = args.Get("burn-in", "auto");
+    if (burn == "auto") {
+      auto t = eval::MeasureMixingTimeTV(tq->kernel, tq->initial,
+                                         params.epsilon / 2);
+      if (!t.ok()) return Fail(t.status());
+      params.burn_in = *t;
+      std::printf("%% measured TV mixing time: %zu steps\n", params.burn_in);
+    } else {
+      params.burn_in = std::stoull(burn);
+    }
+    auto r = eval::McmcForever({tq->kernel, *event}, tq->initial, params,
+                               &rng);
+    if (!r.ok()) return Fail(r.status());
+    std::printf("Pr[%s] ~= %.6f  (%zu samples, burn-in %zu)\n",
+                event->ToString().c_str(), r->estimate, r->samples,
+                params.burn_in);
+    return 0;
+  }
+  if (args.mode == "partition") {
+    StateSpaceOptions options;
+    options.max_states = std::stoull(args.Get("max-states", "16384"));
+    auto r = eval::PartitionedExactForever(*program, *edb, *event, options);
+    if (!r.ok()) return Fail(r.status());
+    size_t states = 0;
+    for (size_t s : r->states_per_class) states += s;
+    std::printf("Pr[%s] = %s (%.6f)\n%% %zu classes, %zu total states\n",
+                event->ToString().c_str(), r->probability.ToString().c_str(),
+                r->probability.ToDouble(), r->num_classes, states);
+    return 0;
+  }
+  return Usage();
+}
