@@ -68,7 +68,8 @@ void BM_TransitiveClosure(benchmark::State& state) {
     benchmark::DoNotOptimize(fixpoint);
   }
 }
-BENCHMARK(BM_TransitiveClosure)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+// 128-node chain: the closure holds ~10^4 derived tuples.
+BENCHMARK(BM_TransitiveClosure)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_TransitiveClosureSeminaive(benchmark::State& state) {
   auto program = datalog::ParseProgram(R"(
@@ -89,7 +90,8 @@ void BM_TransitiveClosureSeminaive(benchmark::State& state) {
     benchmark::DoNotOptimize(fixpoint);
   }
 }
-BENCHMARK(BM_TransitiveClosureSeminaive)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+BENCHMARK(BM_TransitiveClosureSeminaive)
+    ->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_ExactTraversalDiamonds(benchmark::State& state) {
   // Chain of independent 2-way choices: computation tree of size ~2^k.

@@ -2,6 +2,8 @@
 // kernels every query evaluation is built from.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "relational/algebra.h"
 #include "relational/instance.h"
 #include "util/random.h"
@@ -34,6 +36,52 @@ void BM_Insert(benchmark::State& state) {
 }
 BENCHMARK(BM_Insert)->Range(64, 16384);
 
+// Construction-path comparison at large cardinality: n random tuples
+// canonicalized via per-tuple Insert (the pre-builder path; O(n²) tuple
+// moves) versus RelationBuilder::Seal (one sort + dedup pass).
+void BM_ConstructInsert(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    tuples.push_back(
+        Tuple{Value(static_cast<int64_t>(rng.NextIndex(1 << 30))),
+              Value(static_cast<int64_t>(k))});
+  }
+  for (auto _ : state) {
+    Relation r(Schema({"i", "j"}));
+    for (const auto& t : tuples) r.Insert(t);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+// The quadratic path is capped at ~10^5: at 10^6 a single iteration takes
+// minutes, which is the point of the builder.
+BENCHMARK(BM_ConstructInsert)->Arg(10000)->Arg(100000);
+
+void BM_ConstructBuilder(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<Tuple> tuples;
+  tuples.reserve(n);
+  for (size_t k = 0; k < n; ++k) {
+    tuples.push_back(
+        Tuple{Value(static_cast<int64_t>(rng.NextIndex(1 << 30))),
+              Value(static_cast<int64_t>(k))});
+  }
+  for (auto _ : state) {
+    RelationBuilder b(Schema({"i", "j"}));
+    b.Reserve(tuples.size());
+    for (const auto& t : tuples) b.Add(t);
+    auto r = b.Seal();
+    if (!r.ok()) state.SkipWithError("seal failed");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ConstructBuilder)->Arg(10000)->Arg(100000)->Arg(1000000);
+
 void BM_NaturalJoin(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   Relation a = RandomBinary(n, n / 4 + 4, 1);
@@ -47,7 +95,24 @@ void BM_NaturalJoin(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n);
 }
-BENCHMARK(BM_NaturalJoin)->Range(64, 8192);
+// 65536 rows against ~16 matches per key yields a ~10^6-tuple join output.
+BENCHMARK(BM_NaturalJoin)->Range(64, 65536);
+
+// Cartesian product with n² output tuples: 100 → 10⁴, 1000 → 10⁶.
+void BM_Product(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Relation a = RandomBinary(n, 1 << 30, 11);
+  auto b = RenameColumns(RandomBinary(n, 1 << 30, 12),
+                         {{"i", "k"}, {"j", "l"}});
+  if (!b.ok()) return;
+  for (auto _ : state) {
+    auto out = Product(a, *b);
+    if (!out.ok()) state.SkipWithError("product failed");
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_Product)->Arg(100)->Arg(1000);
 
 void BM_Select(benchmark::State& state) {
   Relation r = RandomBinary(static_cast<size_t>(state.range(0)), 1024, 5);

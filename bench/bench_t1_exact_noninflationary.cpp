@@ -94,6 +94,42 @@ int main() {
               Fmt(solve_ms), Fmt(pi_event, 4)});
   }
 
+  // Large-cardinality state dedup: a single walker on an n-cycle whose
+  // instances also carry an inert payload relation of m tuples (the shape
+  // of reachability workloads, where every state hauls the full edge
+  // relation). Successor dedup must digest the payload: the interner hashes
+  // it once per successor, where an ordered map does O(log states) deep
+  // comparisons (and a payload sorting before the cursor relation defeats
+  // the compare's early exit).
+  std::printf(
+      "\nWalker on an n-cycle with an m-tuple inert payload relation "
+      "(dedup-bound build):\n");
+  PrintRow({"cycle_n", "payload_m", "states", "build_ms"});
+  for (int64_t n : {64, 256}) {
+    for (int64_t m : {1000, 10000}) {
+      auto wq = gadgets::RandomWalkQuery(gadgets::Cycle(n, /*lazy=*/true), 0);
+      if (!wq.ok()) return 1;
+      Relation payload(Schema({"a", "b"}));  // "area" < "cur" in name order
+      for (int64_t i = 0; i < m; ++i) {
+        payload.Insert(Tuple{Value(i), Value(i * 2)});
+      }
+      wq->initial.Set("area", std::move(payload));
+      StateSpaceOptions options;
+      options.max_states = 1 << 16;
+      StateSpace space;
+      double build_ms = TimeMs([&] {
+        auto r = BuildStateSpace(wq->kernel, wq->initial, options);
+        if (!r.ok()) {
+          std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+          std::exit(1);
+        }
+        space = std::move(r).value();
+      });
+      PrintRow({FmtInt(n), FmtInt(m), FmtInt(space.states.size()),
+                Fmt(build_ms)});
+    }
+  }
+
   std::printf(
       "\nShape check: states multiply with each independent relation "
       "(4^k) and total time grows superlinearly in states (linear solve), "

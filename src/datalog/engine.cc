@@ -72,12 +72,15 @@ Status AddHeadTuples(const CompiledProgram& cp, size_t r,
     return Status::Internal("head relation '" + rule.head.predicate +
                             "' missing from instance");
   }
+  std::vector<Tuple> head_tuples;
+  head_tuples.reserve(bindings.size());
   for (const Tuple& binding : bindings) {
     PFQL_ASSIGN_OR_RETURN(
         Tuple head_tuple,
         BuildHeadTuple(rule.head, cp.proj_schemas[r], binding));
-    rel->Insert(std::move(head_tuple));
+    head_tuples.push_back(std::move(head_tuple));
   }
+  rel->InsertAll(std::move(head_tuples));
   return Status::OK();
 }
 
@@ -136,11 +139,14 @@ StatusOr<bool> InflationaryEngine::SampleStep(Rng* rng) {
                               "' missing");
     }
     Schema proj_schema{cols};
+    std::vector<Tuple> head_tuples;
+    head_tuples.reserve(chosen.size());
     for (const Tuple& binding : chosen) {
       PFQL_ASSIGN_OR_RETURN(Tuple head_tuple,
                             BuildHeadTuple(rule.head, proj_schema, binding));
-      rel->Insert(std::move(head_tuple));
+      head_tuples.push_back(std::move(head_tuple));
     }
+    rel->InsertAll(std::move(head_tuples));
   }
   ++steps_;
   return true;

@@ -74,14 +74,16 @@ StatusOr<Instance> SeminaiveFixpoint(const Program& program,
     const Rule& rule = rules[r];
     PFQL_ASSIGN_OR_RETURN(Relation vals, EvalVariant(variant, db));
     Relation* rel = db.FindMutable(rule.head.predicate);
+    std::vector<Tuple> fresh;
     for (const auto& binding : vals.tuples()) {
       PFQL_ASSIGN_OR_RETURN(
           Tuple head, BuildHeadTuple(rule.head, variant.body_schema, binding));
-      if (!rel->Contains(head)) {
-        auto [it, _] = new_deltas->try_emplace(
-            rule.head.predicate, program.CanonicalSchema(rule.head.predicate));
-        it->second.Insert(std::move(head));
-      }
+      if (!rel->Contains(head)) fresh.push_back(std::move(head));
+    }
+    if (!fresh.empty()) {
+      auto [it, _] = new_deltas->try_emplace(
+          rule.head.predicate, program.CanonicalSchema(rule.head.predicate));
+      it->second.InsertAll(std::move(fresh));
     }
     return Status::OK();
   };
@@ -105,7 +107,7 @@ StatusOr<Instance> SeminaiveFixpoint(const Program& program,
                            : std::move(it->second);
       derived += delta.size();
       Relation* rel = db.FindMutable(pred);
-      for (const auto& t : delta.tuples()) rel->Insert(t);
+      rel->InsertAll(delta.tuples());
       db.Set(DeltaName(pred), std::move(delta));
     }
     new_deltas.clear();

@@ -61,9 +61,13 @@ StatusOr<Partition> ComputePartition(const datalog::Program& program,
       PFQL_ASSIGN_OR_RETURN(Relation rel, edb.Get(pred));
       cls.Set(pred, Relation(rel.schema()));
     }
+    std::map<std::string, std::vector<Tuple>> per_relation;
     for (size_t id : members) {
       const auto& [relation, tuple] = prov.base[id];
-      cls.FindMutable(relation)->Insert(tuple);
+      per_relation[relation].push_back(tuple);
+    }
+    for (auto& [relation, tuples] : per_relation) {
+      cls.FindMutable(relation)->InsertAll(std::move(tuples));
     }
     partition.classes.push_back(std::move(cls));
     partition.class_sizes.push_back(members.size());

@@ -19,11 +19,13 @@ Value WeightValue(double w) {
 }  // namespace
 
 Relation Graph::ToEdgeRelation() const {
-  Relation e(Schema({"i", "j", "p"}));
+  RelationBuilder e(Schema({"i", "j", "p"}));
+  e.Reserve(edges.size());
   for (const auto& edge : edges) {
-    e.Insert(Tuple{Value(edge.from), Value(edge.to), WeightValue(edge.weight)});
+    e.Add(Tuple{Value(edge.from), Value(edge.to), WeightValue(edge.weight)});
   }
-  return e;
+  auto sealed = e.Seal();  // cannot fail: fixed valid schema, arity 3 rows
+  return sealed.ok() ? std::move(sealed).value() : Relation(Schema({"i", "j", "p"}));
 }
 
 bool Graph::EveryNodeHasOutEdge() const {

@@ -1,0 +1,78 @@
+#include "markov/instance_interner.h"
+
+#include <cassert>
+
+namespace pfql {
+
+namespace {
+constexpr size_t kInitialSlots = 64;  // power of two
+}  // namespace
+
+InstanceInterner::InstanceInterner() : slots_(kInitialSlots) {}
+
+std::pair<size_t, bool> InstanceInterner::Intern(
+    const Instance& instance, std::vector<Instance>* store) {
+  assert(store->size() == count_ && "store out of sync with interner");
+  // Keep the load factor under 3/4 so linear-probe chains stay short.
+  if ((count_ + 1) * 4 > slots_.size() * 3) Grow();
+  const size_t hash = instance.Hash();
+  const size_t mask = slots_.size() - 1;
+  size_t i = hash & mask;
+  while (slots_[i].id != kNotFound) {
+    if (slots_[i].hash == hash && (*store)[slots_[i].id] == instance) {
+      return {slots_[i].id, false};
+    }
+    i = (i + 1) & mask;
+  }
+  const size_t id = count_++;
+  slots_[i] = {hash, id};
+  store->push_back(instance);
+  return {id, true};
+}
+
+std::pair<size_t, bool> InstanceInterner::Intern(Instance&& instance,
+                                                 std::vector<Instance>* store) {
+  assert(store->size() == count_ && "store out of sync with interner");
+  if ((count_ + 1) * 4 > slots_.size() * 3) Grow();
+  const size_t hash = instance.Hash();
+  const size_t mask = slots_.size() - 1;
+  size_t i = hash & mask;
+  while (slots_[i].id != kNotFound) {
+    if (slots_[i].hash == hash && (*store)[slots_[i].id] == instance) {
+      return {slots_[i].id, false};
+    }
+    i = (i + 1) & mask;
+  }
+  const size_t id = count_++;
+  slots_[i] = {hash, id};
+  store->push_back(std::move(instance));
+  return {id, true};
+}
+
+size_t InstanceInterner::Find(const Instance& instance,
+                              const std::vector<Instance>& store) const {
+  const size_t hash = instance.Hash();
+  const size_t mask = slots_.size() - 1;
+  size_t i = hash & mask;
+  while (slots_[i].id != kNotFound) {
+    if (slots_[i].hash == hash && store[slots_[i].id] == instance) {
+      return slots_[i].id;
+    }
+    i = (i + 1) & mask;
+  }
+  return kNotFound;
+}
+
+void InstanceInterner::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  const size_t mask = slots_.size() - 1;
+  for (const Slot& s : old) {
+    if (s.id == kNotFound) continue;
+    size_t i = s.hash & mask;
+    while (slots_[i].id != kNotFound) i = (i + 1) & mask;
+    slots_[i] = s;
+  }
+}
+
+}  // namespace pfql

@@ -1,0 +1,62 @@
+// Hash-based interning of database instances. The Markov-chain builder
+// (BuildStateSpace) must map every successor instance it discovers to a
+// dense state id; doing that through an ordered map costs a deep
+// Instance::Compare per tree level. The interner keys an open-addressing
+// table on the instance's cached structural hash instead, falling back to a
+// full equality check only on probe hits, so the expected cost per lookup is
+// one hash plus O(1) slot probes.
+#ifndef PFQL_MARKOV_INSTANCE_INTERNER_H_
+#define PFQL_MARKOV_INSTANCE_INTERNER_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "relational/instance.h"
+
+namespace pfql {
+
+/// Assigns dense ids (0, 1, 2, ...) to distinct Instances in first-seen
+/// order. The interner does not own the instances: it indexes into an
+/// external `store` vector supplied by the caller, which must be the same
+/// vector across calls and must only grow through Intern. This lets
+/// StateSpace keep its public `states` vector as the single copy of every
+/// explored instance.
+class InstanceInterner {
+ public:
+  static constexpr size_t kNotFound = SIZE_MAX;
+
+  InstanceInterner();
+
+  /// Id of `instance` in `*store`, appending it if new.
+  /// Returns {id, inserted}.
+  std::pair<size_t, bool> Intern(const Instance& instance,
+                                 std::vector<Instance>* store);
+  /// As above, but moves `instance` into the store when it is new.
+  std::pair<size_t, bool> Intern(Instance&& instance,
+                                 std::vector<Instance>* store);
+
+  /// Id of `instance` in `store`, or kNotFound.
+  size_t Find(const Instance& instance,
+              const std::vector<Instance>& store) const;
+
+  /// Number of interned instances.
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+ private:
+  struct Slot {
+    size_t hash = 0;
+    size_t id = kNotFound;  // kNotFound marks an empty slot
+  };
+
+  /// Doubles the table and reinserts all slots by their stored hashes.
+  void Grow();
+
+  std::vector<Slot> slots_;  // size is a power of two
+  size_t count_ = 0;
+};
+
+}  // namespace pfql
+
+#endif  // PFQL_MARKOV_INSTANCE_INTERNER_H_

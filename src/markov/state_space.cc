@@ -1,10 +1,65 @@
 #include "markov/state_space.h"
 
-#include <map>
+#include <atomic>
+#include <optional>
+#include <thread>
+#include <utility>
 
 namespace pfql {
 
+namespace {
+
+// Expands every state in [wave_begin, wave_end) of `states`, writing the
+// successor distribution of states[wave_begin + k] into (*results)[k].
+// With options.threads > 1 the frontier indices are claimed from an atomic
+// counter by worker threads; each worker only reads the shared query and
+// states, and writes a slot no other worker touches. Workers also pre-warm
+// the structural hash of every successor instance so the (sequential) merge
+// pass that follows does no hashing work.
+void ExpandWave(const Interpretation& q, const std::vector<Instance>& states,
+                size_t wave_begin, size_t wave_end,
+                const StateSpaceOptions& options,
+                std::vector<std::optional<StatusOr<Distribution<Instance>>>>*
+                    results) {
+  const size_t wave_size = wave_end - wave_begin;
+  auto expand_one = [&](size_t k) {
+    StatusOr<Distribution<Instance>> successors =
+        q.ApplyExact(states[wave_begin + k], options.eval);
+    if (successors.ok()) {
+      for (const auto& outcome : successors.value().outcomes()) {
+        outcome.value.Hash();  // pre-warm the cached hash for the merge
+      }
+    }
+    (*results)[k].emplace(std::move(successors));
+  };
+
+  const size_t threads =
+      options.threads > 1 ? std::min(options.threads, wave_size) : 1;
+  if (threads <= 1) {
+    for (size_t k = 0; k < wave_size; ++k) expand_one(k);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const size_t k = next.fetch_add(1, std::memory_order_relaxed);
+      if (k >= wave_size) return;
+      expand_one(k);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+}  // namespace
+
 size_t StateSpace::IndexOf(const Instance& instance) const {
+  if (index.size() == states.size()) {
+    return index.Find(instance, states);
+  }
+  // Hand-assembled space without an index: linear scan.
   for (size_t i = 0; i < states.size(); ++i) {
     if (states[i] == instance) return i;
   }
@@ -23,37 +78,43 @@ StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
                                      const Instance& initial,
                                      const StateSpaceOptions& options) {
   StateSpace space;
-  std::map<Instance, size_t> index;
+  space.index.Intern(initial, &space.states);
 
-  space.states.push_back(initial);
-  index.emplace(initial, 0);
-
-  // Two-phase BFS: first discover all states and record transitions, then
-  // assemble the chain (MarkovChain needs its size up front, so we collect
-  // into an edge list).
+  // Wave BFS: expand the current frontier segment of `states` (possibly in
+  // parallel), then merge the per-state successor distributions in frontier
+  // order. Interning in merge order makes state numbering, the edge list,
+  // and the first reported error identical to a sequential FIFO exploration
+  // regardless of options.threads. MarkovChain needs its size up front, so
+  // transitions are collected into an edge list first.
   struct Edge {
     size_t from, to;
     BigRational p;
   };
   std::vector<Edge> edges;
 
-  for (size_t frontier = 0; frontier < space.states.size(); ++frontier) {
-    PFQL_ASSIGN_OR_RETURN(
-        Distribution<Instance> successors,
-        q.ApplyExact(space.states[frontier], options.eval));
-    for (const auto& outcome : successors.outcomes()) {
-      auto [it, inserted] =
-          index.emplace(outcome.value, space.states.size());
-      if (inserted) {
-        if (space.states.size() >= options.max_states) {
+  std::vector<std::optional<StatusOr<Distribution<Instance>>>> results;
+  size_t wave_begin = 0;
+  while (wave_begin < space.states.size()) {
+    const size_t wave_end = space.states.size();
+    results.assign(wave_end - wave_begin, std::nullopt);
+    ExpandWave(q, space.states, wave_begin, wave_end, options, &results);
+
+    for (size_t k = 0; k < results.size(); ++k) {
+      StatusOr<Distribution<Instance>>& successors = *results[k];
+      PFQL_RETURN_NOT_OK(successors.status());
+      const size_t from = wave_begin + k;
+      for (auto& outcome : successors.value().MutableOutcomes()) {
+        auto [to, inserted] =
+            space.index.Intern(std::move(outcome.value), &space.states);
+        if (inserted && space.states.size() > options.max_states) {
           return Status::ResourceExhausted(
               "state space exceeds max_states = " +
               std::to_string(options.max_states));
         }
-        space.states.push_back(outcome.value);
+        edges.push_back({from, to, std::move(outcome.probability)});
       }
-      edges.push_back({frontier, it->second, outcome.probability});
     }
+    wave_begin = wave_end;
   }
 
   space.chain = MarkovChain(space.states.size());

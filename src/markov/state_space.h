@@ -5,10 +5,10 @@
 #ifndef PFQL_MARKOV_STATE_SPACE_H_
 #define PFQL_MARKOV_STATE_SPACE_H_
 
-#include <unordered_map>
 #include <vector>
 
 #include "lang/interpretation.h"
+#include "markov/instance_interner.h"
 #include "markov/markov_chain.h"
 #include "relational/instance.h"
 #include "util/status.h"
@@ -19,6 +19,10 @@ namespace pfql {
 struct StateSpace {
   std::vector<Instance> states;
   MarkovChain chain{0};
+  /// Hash index over `states` (populated by BuildStateSpace). When in sync
+  /// with `states` it answers IndexOf in O(1); hand-assembled spaces that
+  /// never filled it fall back to a linear scan.
+  InstanceInterner index;
 
   /// Index of an instance in `states`, or SIZE_MAX.
   size_t IndexOf(const Instance& instance) const;
@@ -31,6 +35,9 @@ struct StateSpace {
 /// the worst case (that is Prop 5.4's EXPTIME bound), so callers cap them.
 struct StateSpaceOptions {
   size_t max_states = 1 << 14;
+  /// Worker threads for expanding a BFS wave. Results are merged in frontier
+  /// order, so states, edges, and errors are identical for any value.
+  size_t threads = 1;
   ExactEvalOptions eval;
 };
 

@@ -223,12 +223,14 @@ uint64_t PCDatabase::WorldCount(uint64_t cap) const {
 StatusOr<Instance> PCDatabase::InstanceFor(const Valuation& valuation) const {
   Instance instance;
   for (const auto& [name, table] : tables_) {
-    Relation rel(table.schema);
+    RelationBuilder rel(table.schema);
+    rel.Reserve(table.rows.size());
     for (const auto& row : table.rows) {
       PFQL_ASSIGN_OR_RETURN(bool holds, row.condition->Eval(valuation));
-      if (holds) rel.Insert(row.tuple);
+      if (holds) rel.Add(row.tuple);
     }
-    instance.Set(name, std::move(rel));
+    PFQL_ASSIGN_OR_RETURN(Relation sealed, rel.Seal());
+    instance.Set(name, std::move(sealed));
   }
   return instance;
 }

@@ -70,6 +70,9 @@ class Distribution {
   }
 
   const std::vector<Outcome>& outcomes() const { return outcomes_; }
+  /// Mutable outcome access for consumers that move values out; the
+  /// distribution's invariant is void afterwards and it must be discarded.
+  std::vector<Outcome>& MutableOutcomes() { return outcomes_; }
   size_t size() const { return outcomes_.size(); }
   bool empty() const { return outcomes_.empty(); }
 

@@ -81,25 +81,30 @@ StatusOr<Distribution<Relation>> RepairKeyEnumerate(
   PFQL_ASSIGN_OR_RETURN(std::vector<RepairKeyGroup> groups,
                         RepairKeyGroups(rel, spec));
 
-  // Cartesian product over groups (depth-first), worlds built incrementally.
+  // Cartesian product over groups (depth-first); each world is sealed in
+  // one canonicalization pass from the chosen alternatives.
   Distribution<Relation> dist;
   std::vector<size_t> chosen(groups.size(), 0);
-  std::function<void(size_t, BigRational)> recurse =
-      [&](size_t depth, BigRational prob) {
-        if (depth == groups.size()) {
-          Relation world(rel.schema());
-          for (size_t gi = 0; gi < groups.size(); ++gi) {
-            world.Insert(groups[gi].alternatives[chosen[gi]].first);
-          }
-          dist.Add(std::move(world), std::move(prob));
-          return;
-        }
-        for (size_t c = 0; c < groups[depth].alternatives.size(); ++c) {
-          chosen[depth] = c;
-          recurse(depth + 1, prob * groups[depth].alternatives[c].second);
-        }
-      };
-  recurse(0, BigRational(1));
+  std::function<Status(size_t, BigRational)> recurse =
+      [&](size_t depth, BigRational prob) -> Status {
+    if (depth == groups.size()) {
+      RelationBuilder world(rel.schema());
+      world.Reserve(groups.size());
+      for (size_t gi = 0; gi < groups.size(); ++gi) {
+        world.Add(groups[gi].alternatives[chosen[gi]].first);
+      }
+      PFQL_ASSIGN_OR_RETURN(Relation sealed, world.Seal());
+      dist.Add(std::move(sealed), std::move(prob));
+      return Status::OK();
+    }
+    for (size_t c = 0; c < groups[depth].alternatives.size(); ++c) {
+      chosen[depth] = c;
+      PFQL_RETURN_NOT_OK(
+          recurse(depth + 1, prob * groups[depth].alternatives[c].second));
+    }
+    return Status::OK();
+  };
+  PFQL_RETURN_NOT_OK(recurse(0, BigRational(1)));
   dist.Normalize();
   return dist;
 }
@@ -107,7 +112,8 @@ StatusOr<Distribution<Relation>> RepairKeyEnumerate(
 StatusOr<Relation> RepairKeySample(const Relation& rel,
                                    const RepairKeySpec& spec, Rng* rng) {
   PFQL_ASSIGN_OR_RETURN(Groups groups, BuildGroups(rel, spec));
-  Relation world(rel.schema());
+  RelationBuilder world(rel.schema());
+  world.Reserve(groups.by_key.size());
   for (const auto& [key, members] : groups.by_key) {
     std::vector<double> weights;
     weights.reserve(members.size());
@@ -129,9 +135,9 @@ StatusOr<Relation> RepairKeySample(const Relation& rel,
           "repair-key group with key " + key.ToString() +
           " has total weight zero");
     }
-    world.Insert(rel.tuples()[members[pick]]);
+    world.Add(rel.tuples()[members[pick]]);
   }
-  return world;
+  return world.Seal();
 }
 
 StatusOr<uint64_t> RepairKeyWorldCount(const Relation& rel,

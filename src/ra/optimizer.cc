@@ -117,16 +117,21 @@ class Optimizer {
                                         e->repair_spec());
           if (groups.ok()) {
             bool deterministic = true;
-            Relation survivors(child->const_relation().schema());
+            RelationBuilder survivors(child->const_relation().schema());
             for (const auto& g : *groups) {
               if (g.alternatives.size() != 1) {
                 deterministic = false;
                 break;
               }
-              survivors.Insert(g.alternatives[0].first);
+              survivors.Add(g.alternatives[0].first);
             }
             // All-singleton groups: the repair is unique and certain.
-            if (deterministic) return RaExpr::Const(std::move(survivors));
+            if (deterministic) {
+              auto sealed = survivors.Seal();
+              if (sealed.ok()) {
+                return RaExpr::Const(std::move(sealed).value());
+              }
+            }
           }
         }
         return RaExpr::RepairKey(std::move(child), e->repair_spec());

@@ -6,23 +6,22 @@ namespace pfql {
 
 StatusOr<Relation> Select(const Relation& rel,
                           const std::shared_ptr<Predicate>& pred) {
-  Relation out(rel.schema());
+  RelationBuilder out(rel.schema());
   for (const auto& t : rel.tuples()) {
     PFQL_ASSIGN_OR_RETURN(bool keep, pred->Eval(rel.schema(), t));
-    if (keep) out.Insert(t);
+    if (keep) out.Add(t);
   }
-  return out;
+  return out.Seal();
 }
 
 StatusOr<Relation> Project(const Relation& rel,
                            const std::vector<std::string>& cols) {
   PFQL_ASSIGN_OR_RETURN(std::vector<size_t> idx,
                         rel.schema().IndicesOf(cols));
-  Schema out_schema(cols);
-  PFQL_RETURN_NOT_OK(out_schema.Validate());
-  Relation out(out_schema);
-  for (const auto& t : rel.tuples()) out.Insert(t.Project(idx));
-  return out;
+  RelationBuilder out((Schema(cols)));
+  out.Reserve(rel.size());
+  for (const auto& t : rel.tuples()) out.Add(t.Project(idx));
+  return out.Seal();
 }
 
 StatusOr<Relation> RenameColumns(
@@ -36,13 +35,9 @@ StatusOr<Relation> RenameColumns(
     }
     cols[*idx] = to;
   }
-  Schema out_schema(std::move(cols));
-  PFQL_RETURN_NOT_OK(out_schema.Validate());
-  PFQL_ASSIGN_OR_RETURN(
-      Relation out,
-      Relation::Make(std::move(out_schema),
-                     std::vector<Tuple>(rel.tuples())));
-  return out;
+  // Renaming never reorders tuples, so rebind the schema onto the existing
+  // canonical tuple vector instead of re-sorting through Relation::Make.
+  return rel.WithSchema(Schema(std::move(cols)));
 }
 
 StatusOr<Relation> NaturalJoin(const Relation& a, const Relation& b) {
@@ -59,40 +54,40 @@ StatusOr<Relation> NaturalJoin(const Relation& a, const Relation& b) {
     if (!a.schema().Contains(b.schema().column(i))) b_rest.push_back(i);
   }
 
-  // Hash the smaller side on the key.
-  std::unordered_map<size_t, std::vector<const Tuple*>> index;
+  // Hash the build side on the key tuple itself, so each build tuple is
+  // projected exactly once and probes need no collision re-projection.
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHash> index;
   index.reserve(b.size());
   for (const auto& t : b.tuples()) {
-    index[t.Project(b_key).Hash()].push_back(&t);
+    index[t.Project(b_key)].push_back(&t);
   }
 
-  Relation out(a.schema().JoinWith(b.schema()));
+  RelationBuilder out(a.schema().JoinWith(b.schema()));
   for (const auto& ta : a.tuples()) {
-    Tuple key = ta.Project(a_key);
-    auto it = index.find(key.Hash());
+    auto it = index.find(ta.Project(a_key));
     if (it == index.end()) continue;
     for (const Tuple* tb : it->second) {
-      if (tb->Project(b_key) != key) continue;  // hash collision guard
       Tuple joined = ta;
       for (size_t i : b_rest) joined.Append((*tb)[i]);
-      out.Insert(std::move(joined));
+      out.Add(std::move(joined));
     }
   }
-  return out;
+  return out.Seal();
 }
 
 StatusOr<Relation> Product(const Relation& a, const Relation& b) {
   PFQL_ASSIGN_OR_RETURN(Schema out_schema,
                         a.schema().ConcatDisjoint(b.schema()));
-  Relation out(std::move(out_schema));
+  RelationBuilder out(std::move(out_schema));
+  out.Reserve(a.size() * b.size());
   for (const auto& ta : a.tuples()) {
     for (const auto& tb : b.tuples()) {
       Tuple joined = ta;
       for (const auto& v : tb.values()) joined.Append(v);
-      out.Insert(std::move(joined));
+      out.Add(std::move(joined));
     }
   }
-  return out;
+  return out.Seal();
 }
 
 StatusOr<Relation> Union(const Relation& a, const Relation& b) {
@@ -115,14 +110,15 @@ StatusOr<Relation> Extend(const Relation& rel, const std::string& new_column,
   }
   std::vector<std::string> cols = rel.schema().columns();
   cols.push_back(new_column);
-  Relation out((Schema(std::move(cols))));
+  RelationBuilder out((Schema(std::move(cols))));
+  out.Reserve(rel.size());
   for (const auto& t : rel.tuples()) {
     PFQL_ASSIGN_OR_RETURN(Value v, expr->Eval(rel.schema(), t));
     Tuple extended = t;
     extended.Append(std::move(v));
-    out.Insert(std::move(extended));
+    out.Add(std::move(extended));
   }
-  return out;
+  return out.Seal();
 }
 
 Relation SingletonColumn(const std::string& column,

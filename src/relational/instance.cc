@@ -21,7 +21,9 @@ const Relation* Instance::Find(const std::string& name) const {
 
 Relation* Instance::FindMutable(const std::string& name) {
   auto it = relations_.find(name);
-  return it == relations_.end() ? nullptr : &it->second;
+  if (it == relations_.end()) return nullptr;
+  InvalidateHash();  // the caller may mutate the relation through this
+  return &it->second;
 }
 
 size_t Instance::TotalTuples() const {
@@ -60,11 +62,15 @@ int Instance::Compare(const Instance& other) const {
 }
 
 size_t Instance::Hash() const {
-  size_t h = relations_.size();
+  size_t h = CachedHash();
+  if (h != 0) return h;
+  h = relations_.size();
   for (const auto& [name, rel] : relations_) {
     HashCombine(&h, std::hash<std::string>{}(name));
     HashCombine(&h, rel.Hash());
   }
+  if (h == 0) h = 0x9e3779b97f4a7c15ULL;  // keep 0 as the "unset" sentinel
+  SetCachedHash(h);
   return h;
 }
 

@@ -4,6 +4,7 @@
 #ifndef PFQL_RELATIONAL_INSTANCE_H_
 #define PFQL_RELATIONAL_INSTANCE_H_
 
+#include <atomic>
 #include <map>
 #include <ostream>
 #include <string>
@@ -17,10 +18,25 @@ namespace pfql {
 class Instance {
  public:
   Instance() = default;
+  Instance(const Instance& o)
+      : relations_(o.relations_), hash_cache_(o.CachedHash()) {}
+  Instance(Instance&& o) noexcept
+      : relations_(std::move(o.relations_)), hash_cache_(o.CachedHash()) {}
+  Instance& operator=(const Instance& o) {
+    relations_ = o.relations_;
+    SetCachedHash(o.CachedHash());
+    return *this;
+  }
+  Instance& operator=(Instance&& o) noexcept {
+    relations_ = std::move(o.relations_);
+    SetCachedHash(o.CachedHash());
+    return *this;
+  }
 
   /// Adds or replaces a relation.
   void Set(const std::string& name, Relation relation) {
     relations_[name] = std::move(relation);
+    InvalidateHash();
   }
 
   bool Has(const std::string& name) const {
@@ -30,7 +46,8 @@ class Instance {
   /// Error if absent.
   StatusOr<Relation> Get(const std::string& name) const;
 
-  /// Pointer access; nullptr if absent.
+  /// Pointer access; nullptr if absent. FindMutable conservatively
+  /// invalidates the cached hash: the caller may mutate the relation.
   const Relation* Find(const std::string& name) const;
   Relation* FindMutable(const std::string& name);
 
@@ -52,12 +69,26 @@ class Instance {
   int Compare(const Instance& other) const;
   bool operator<(const Instance& o) const { return Compare(o) < 0; }
 
+  /// Structural hash over relation names and contents, cached after the
+  /// first call and invalidated by Set/FindMutable. Safe for concurrent
+  /// readers of a const instance (relaxed atomic cache).
   size_t Hash() const;
 
   std::string ToString() const;
 
  private:
+  size_t CachedHash() const {
+    return hash_cache_.load(std::memory_order_relaxed);
+  }
+  void SetCachedHash(size_t h) const {
+    hash_cache_.store(h, std::memory_order_relaxed);
+  }
+  void InvalidateHash() const { SetCachedHash(0); }
+
   std::map<std::string, Relation> relations_;
+  // Cached Hash() value; 0 means "not computed" (computed hashes are nudged
+  // off 0).
+  mutable std::atomic<size_t> hash_cache_{0};
 };
 
 inline std::ostream& operator<<(std::ostream& os, const Instance& d) {

@@ -16,7 +16,11 @@ StatusOr<Relation> Relation::Make(Schema schema, std::vector<Tuple> tuples) {
                                std::to_string(schema.size()));
     }
   }
-  std::sort(tuples.begin(), tuples.end());
+  // Operators that emit in scan order (product, merge-style unions) stage
+  // already-sorted batches; an O(n) sortedness check dodges their sort.
+  if (!std::is_sorted(tuples.begin(), tuples.end())) {
+    std::sort(tuples.begin(), tuples.end());
+  }
   tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
   Relation r(std::move(schema));
   r.tuples_ = std::move(tuples);
@@ -28,18 +32,61 @@ bool Relation::Insert(Tuple t) {
   auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
   if (it != tuples_.end() && *it == t) return false;
   tuples_.insert(it, std::move(t));
+  InvalidateHash();
   return true;
+}
+
+size_t Relation::InsertAll(std::vector<Tuple> tuples) {
+  if (tuples.empty()) return 0;
+  for (const auto& t : tuples) {
+    assert(t.size() == schema_.size() && "tuple arity mismatch");
+    (void)t;
+  }
+  std::sort(tuples.begin(), tuples.end());
+  tuples.erase(std::unique(tuples.begin(), tuples.end()), tuples.end());
+  // Drop tuples already present, then merge the genuinely new ones.
+  std::vector<Tuple> fresh;
+  fresh.reserve(tuples.size());
+  for (auto& t : tuples) {
+    if (!Contains(t)) fresh.push_back(std::move(t));
+  }
+  if (fresh.empty()) return 0;
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + fresh.size());
+  std::merge(std::make_move_iterator(tuples_.begin()),
+             std::make_move_iterator(tuples_.end()),
+             std::make_move_iterator(fresh.begin()),
+             std::make_move_iterator(fresh.end()),
+             std::back_inserter(merged));
+  tuples_ = std::move(merged);
+  InvalidateHash();
+  return fresh.size();
 }
 
 bool Relation::Erase(const Tuple& t) {
   auto it = std::lower_bound(tuples_.begin(), tuples_.end(), t);
   if (it == tuples_.end() || *it != t) return false;
   tuples_.erase(it);
+  InvalidateHash();
   return true;
 }
 
 bool Relation::Contains(const Tuple& t) const {
   return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+StatusOr<Relation> Relation::WithSchema(Schema schema) const {
+  PFQL_RETURN_NOT_OK(schema.Validate());
+  if (!tuples_.empty() && schema.size() != schema_.size()) {
+    return Status::TypeError("schema rebind from arity " +
+                             std::to_string(schema_.size()) + " to arity " +
+                             std::to_string(schema.size()));
+  }
+  Relation out(std::move(schema));
+  out.tuples_ = tuples_;
+  // Hashes cover tuples only, so the cache carries over.
+  out.SetCachedHash(CachedHash());
+  return out;
 }
 
 StatusOr<Relation> Relation::UnionWith(const Relation& other) const {
@@ -96,8 +143,12 @@ int Relation::Compare(const Relation& other) const {
 }
 
 size_t Relation::Hash() const {
-  size_t h = tuples_.size();
+  size_t h = CachedHash();
+  if (h != 0) return h;
+  h = tuples_.size();
   for (const auto& t : tuples_) HashCombine(&h, t.Hash());
+  if (h == 0) h = 0x9e3779b97f4a7c15ULL;  // keep 0 as the "unset" sentinel
+  SetCachedHash(h);
   return h;
 }
 

@@ -165,7 +165,7 @@ class TextParser {
 
     Schema schema(columns);
     PFQL_RETURN_NOT_OK(schema.Validate());
-    Relation rel(schema);
+    RelationBuilder rel(schema);
 
     PFQL_RETURN_NOT_OK(Expect('{'));
     SkipWhitespaceAndComments();
@@ -191,11 +191,12 @@ class TextParser {
                      " does not match schema " + schema.ToString() +
                      " in relation '" + name + "'");
       }
-      rel.Insert(std::move(tuple));
+      rel.Add(std::move(tuple));
       SkipWhitespaceAndComments();
     }
     Advance();  // '}'
-    instance->Set(name, std::move(rel));
+    PFQL_ASSIGN_OR_RETURN(Relation sealed, std::move(rel).Seal());
+    instance->Set(name, std::move(sealed));
     return Status::OK();
   }
 

@@ -49,6 +49,12 @@ inline std::ostream& operator<<(std::ostream& os, const Tuple& t) {
   return os << t.ToString();
 }
 
+/// Hash functor for unordered containers keyed by Tuple (pairs with the
+/// default std::equal_to<Tuple> via Tuple::operator==).
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
 }  // namespace pfql
 
 #endif  // PFQL_RELATIONAL_TUPLE_H_

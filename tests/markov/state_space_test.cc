@@ -106,5 +106,97 @@ TEST(StateSpaceTest, DeterministicKernelSingleSuccessor) {
   EXPECT_TRUE(space->chain.Row(0)[0].second.IsOne());
 }
 
+// A bigger walk: lazy random walk on a 6-cycle, one state per node, several
+// BFS waves deep. Used by the determinism regressions below.
+Instance CycleInstance(int64_t n) {
+  Instance db;
+  Relation e(Schema({"i", "j", "p"}));
+  for (int64_t i = 0; i < n; ++i) {
+    e.Insert(Tuple{Value(i), Value(i), Value(1)});
+    e.Insert(Tuple{Value(i), Value((i + 1) % n), Value(2)});
+  }
+  db.Set("e", std::move(e));
+  Relation c(Schema({"i"}));
+  c.Insert(Tuple{Value(0)});
+  db.Set("cur", std::move(c));
+  return db;
+}
+
+void ExpectSameSpace(const StateSpace& a, const StateSpace& b) {
+  ASSERT_EQ(a.states.size(), b.states.size());
+  for (size_t i = 0; i < a.states.size(); ++i) {
+    EXPECT_EQ(a.states[i], b.states[i]) << "state " << i << " differs";
+  }
+  ASSERT_EQ(a.chain.num_states(), b.chain.num_states());
+  for (size_t i = 0; i < a.chain.num_states(); ++i) {
+    const auto& ra = a.chain.Row(i);
+    const auto& rb = b.chain.Row(i);
+    ASSERT_EQ(ra.size(), rb.size()) << "row " << i << " differs";
+    for (size_t k = 0; k < ra.size(); ++k) {
+      EXPECT_EQ(ra[k].first, rb[k].first);
+      EXPECT_EQ(ra[k].second, rb[k].second);
+    }
+  }
+}
+
+// Regression: state numbering, edges, and probabilities are bit-identical
+// for any thread count (the wave-parallel expansion merges in frontier
+// order), and unchanged from the sequential std::map-based exploration this
+// replaced (states are numbered in FIFO discovery order).
+TEST(StateSpaceTest, ThreadedBuildBitIdenticalToSequential) {
+  const Instance initial = CycleInstance(6);
+  const Interpretation q = WalkKernel();
+  StateSpaceOptions seq;
+  seq.threads = 1;
+  auto base = BuildStateSpace(q, initial, seq);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->states.size(), 6u);
+  for (size_t threads : {2u, 4u, 8u}) {
+    StateSpaceOptions par;
+    par.threads = threads;
+    auto space = BuildStateSpace(q, initial, par);
+    ASSERT_TRUE(space.ok()) << "threads = " << threads;
+    ExpectSameSpace(*base, *space);
+  }
+}
+
+TEST(StateSpaceTest, ThreadedMaxStatesSameError) {
+  StateSpaceOptions seq;
+  seq.max_states = 3;
+  auto base = BuildStateSpace(WalkKernel(), CycleInstance(6), seq);
+  ASSERT_FALSE(base.ok());
+  StateSpaceOptions par = seq;
+  par.threads = 4;
+  auto space = BuildStateSpace(WalkKernel(), CycleInstance(6), par);
+  ASSERT_FALSE(space.ok());
+  EXPECT_EQ(space.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(space.status().ToString(), base.status().ToString());
+}
+
+// Regression: IndexOf answers through the interner (built spaces keep it in
+// sync with `states`), and every explored state maps back to its own id.
+TEST(StateSpaceTest, IndexOfUsesInternerForBuiltSpaces) {
+  auto space = BuildStateSpace(WalkKernel(), CycleInstance(6));
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->index.size(), space->states.size());
+  for (size_t i = 0; i < space->states.size(); ++i) {
+    EXPECT_EQ(space->IndexOf(space->states[i]), i);
+  }
+  Instance ghost;
+  EXPECT_EQ(space->IndexOf(ghost), SIZE_MAX);
+}
+
+// Hand-assembled spaces (no interner) still answer IndexOf via the linear
+// fallback.
+TEST(StateSpaceTest, IndexOfLinearFallbackWithoutInterner) {
+  StateSpace space;
+  space.states.push_back(WalkInstance());
+  space.states.push_back(CycleInstance(4));
+  EXPECT_EQ(space.index.size(), 0u);
+  EXPECT_EQ(space.IndexOf(CycleInstance(4)), 1u);
+  EXPECT_EQ(space.IndexOf(WalkInstance()), 0u);
+  EXPECT_EQ(space.IndexOf(CycleInstance(5)), SIZE_MAX);
+}
+
 }  // namespace
 }  // namespace pfql
