@@ -1,0 +1,95 @@
+// Pass-based static analyzer for probabilistic datalog programs. Runs after
+// Program::Make's core validation and emits structured diagnostics (see
+// diagnostic.h) for the syntactic fragments the paper's results depend on:
+//
+//  * predicate dependency graph, SCC/recursion structure, and the
+//    stratification-style placement of probabilistic choices (Sec 3.3);
+//  * repair-key head well-formedness — key columns a proper subset of the
+//    head columns, weight variable used consistently, overlapping
+//    probabilistic heads per key group (Sec 2.2 / 3.3);
+//  * guaranteed-termination hints — linear datalog, datalog without
+//    probabilistic rules, and the active-domain bound on the reachable
+//    state space (Table 1, Prop 5.4);
+//  * dead code — rules that can never fire, duplicate rules, and (given
+//    the query event) predicates that cannot contribute to it.
+#ifndef PFQL_ANALYSIS_ANALYZER_H_
+#define PFQL_ANALYSIS_ANALYZER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "datalog/program.h"
+
+namespace pfql {
+namespace analysis {
+
+struct AnalyzerOptions {
+  /// Relation named by the query event; enables the dead-predicate pass
+  /// (PFQL-W031: predicates from which the goal is unreachable).
+  std::optional<std::string> goal_predicate;
+  /// Emit N-severity fragment/termination hints (on for pfql-lint,
+  /// callers that only want errors/warnings can switch it off).
+  bool emit_notes = true;
+};
+
+/// The predicate dependency graph of a program: an edge p -> q when q
+/// occurs in the body of a rule whose head is p.
+struct DependencyGraph {
+  /// Adjacency: head predicate -> body predicates (IDB and EDB).
+  std::map<std::string, std::set<std::string>> edges;
+  /// Strongly connected components in reverse topological order
+  /// (callees before callers); each component's members are sorted.
+  std::vector<std::vector<std::string>> sccs;
+  /// Predicate -> index into `sccs`.
+  std::map<std::string, size_t> scc_index;
+
+  /// True iff `pred` is recursive: its SCC has >1 member, or it has a
+  /// self-loop edge.
+  bool IsRecursive(const std::string& pred) const;
+
+  /// Predicates from which `target` is reachable along dependency edges
+  /// (including `target` itself): exactly the predicates that can
+  /// contribute derivations to `target`.
+  std::set<std::string> ContributorsTo(const std::string& target) const;
+};
+
+/// Builds the dependency graph and Tarjan SCCs for `program`.
+DependencyGraph BuildDependencyGraph(const datalog::Program& program);
+
+/// Summary facts the analyzer derived (beyond the diagnostics).
+struct ProgramAnalysis {
+  DependencyGraph graph;
+  bool linear = false;
+  bool has_probabilistic_rules = false;
+  /// Predicates involved in any recursive SCC.
+  std::set<std::string> recursive_predicates;
+};
+
+/// Runs every analysis pass over `program`, reporting into `sink`.
+/// Program::Make-level errors (arity, safety) are assumed already checked;
+/// this layer adds the repair-key, recursion, termination, and dead-code
+/// passes.
+ProgramAnalysis AnalyzeProgram(const datalog::Program& program,
+                               const AnalyzerOptions& options,
+                               DiagnosticSink* sink);
+
+/// One-stop linting of program text: parse (with rule-boundary recovery),
+/// validate, and — when the program is well-formed enough — run every
+/// analysis pass. This is the pipeline behind `pfql-lint` and the golden
+/// diagnostics tests, so both render identical output.
+struct LintResult {
+  DiagnosticSink sink;
+  /// Engaged iff parsing and core validation produced no errors.
+  std::optional<datalog::Program> program;
+};
+LintResult LintProgramSource(std::string_view source,
+                             const AnalyzerOptions& options = {});
+
+}  // namespace analysis
+}  // namespace pfql
+
+#endif  // PFQL_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,191 @@
+#include "analysis/interp_analysis.h"
+
+#include <algorithm>
+
+namespace pfql {
+namespace analysis {
+
+namespace {
+
+bool ReadsRelation(const RaExpr::Ptr& expr, const std::string& relation) {
+  const std::vector<std::string> inputs = expr->InputRelations();
+  return std::binary_search(inputs.begin(), inputs.end(), relation);
+}
+
+/// Structural proof that `expr`'s output always contains the current value
+/// of `relation`: Base(relation) is the identity; a union contains it if
+/// either branch does; an intersection only if both branches do. Every
+/// other operator can shrink or reshape its input, so it breaks the proof.
+bool ProvesContainsIdentity(const RaExpr::Ptr& expr,
+                            const std::string& relation) {
+  switch (expr->kind()) {
+    case RaExpr::Kind::kBase:
+      return expr->relation_name() == relation;
+    case RaExpr::Kind::kUnion:
+      return ProvesContainsIdentity(expr->left(), relation) ||
+             ProvesContainsIdentity(expr->right(), relation);
+    case RaExpr::Kind::kIntersect:
+      return ProvesContainsIdentity(expr->left(), relation) &&
+             ProvesContainsIdentity(expr->right(), relation);
+    default:
+      return false;
+  }
+}
+
+/// Walks the whole tree, invoking `visit` on every node.
+template <typename Visitor>
+void Walk(const RaExpr::Ptr& expr, const Visitor& visit) {
+  if (expr == nullptr) return;
+  visit(expr);
+  Walk(expr->left(), visit);
+  Walk(expr->right(), visit);
+}
+
+/// True iff `expr` reads `relation` inside a non-monotone position: on the
+/// right ("subtracted") side of a Difference. `negated` tracks the parity.
+bool ReadsUnderDifference(const RaExpr::Ptr& expr,
+                          const std::string& relation, bool negated) {
+  if (expr == nullptr) return false;
+  if (expr->kind() == RaExpr::Kind::kBase) {
+    return negated && expr->relation_name() == relation;
+  }
+  const bool right_negated =
+      expr->kind() == RaExpr::Kind::kDifference ? !negated : negated;
+  return ReadsUnderDifference(expr->left(), relation, negated) ||
+         ReadsUnderDifference(expr->right(), relation, right_negated);
+}
+
+bool ScalarInventsValues(const std::shared_ptr<ScalarExpr>& expr) {
+  if (expr == nullptr) return false;
+  switch (expr->kind()) {
+    case ScalarExpr::Kind::kColumn:
+    case ScalarExpr::Kind::kConst:
+      // Copies an existing value or injects one fixed literal — either way
+      // the set of producible values stays finite across iterations.
+      return false;
+    case ScalarExpr::Kind::kAdd:
+    case ScalarExpr::Kind::kSub:
+    case ScalarExpr::Kind::kMul:
+    case ScalarExpr::Kind::kDiv:
+      return true;
+  }
+  return true;
+}
+
+}  // namespace
+
+ContainmentVerdict VerifyContainsIdentity(const RaExpr::Ptr& query,
+                                          const std::string& relation) {
+  if (query == nullptr) return ContainmentVerdict::kUnknown;
+  if (ProvesContainsIdentity(query, relation)) {
+    return ContainmentVerdict::kProvablyContains;
+  }
+  // RA + repair-key is generic: output values originate from the relations
+  // the query reads plus its literal constants. A query that never reads
+  // `relation` therefore cannot echo a fresh value stored in it, and some
+  // instance witnesses I ⊄ Q(I) — a provable Def 3.4 violation.
+  if (!ReadsRelation(query, relation)) {
+    return ContainmentVerdict::kProvablyViolates;
+  }
+  return ContainmentVerdict::kUnknown;
+}
+
+void AnalyzeInterpretation(const Interpretation& interpretation,
+                           const InterpretationAnalysisOptions& options,
+                           DiagnosticSink* sink) {
+  bool any_invention = false;
+
+  for (const auto& [relation, query] : interpretation.queries()) {
+    // Pass 1: inflationary fragment (Def 3.4).
+    const ContainmentVerdict verdict =
+        VerifyContainsIdentity(query, relation);
+    switch (verdict) {
+      case ContainmentVerdict::kProvablyContains:
+        if (options.emit_notes) {
+          sink->Note(kCodeProvablyInflationary, SourceSpan(),
+                     "query for '" + relation +
+                         "' provably contains the identity (Def 3.4): " +
+                         query->ToString());
+        }
+        break;
+      case ContainmentVerdict::kProvablyViolates:
+        if (options.expect_inflationary) {
+          sink->Error(kCodeNotInflationary, StatusCode::kFailedPrecondition,
+                      SourceSpan(),
+                      "query for '" + relation +
+                          "' is provably not inflationary: it never reads '" +
+                          relation +
+                          "', so a fresh tuple in that relation cannot "
+                          "survive the step (Def 3.4 requires I ⊆ Q(I); "
+                          "wrap with Interpretation::Inflationary())");
+        }
+        break;
+      case ContainmentVerdict::kUnknown:
+        if (options.expect_inflationary) {
+          sink->Warning(kCodeCannotVerifyInflationary, SourceSpan(),
+                        "cannot verify that the query for '" + relation +
+                            "' contains the identity (Def 3.4); no "
+                            "syntactic proof of I ⊆ Q(I) in: " +
+                            query->ToString());
+        }
+        break;
+    }
+
+    // Pass 2: repair-key spec well-formedness (Sec 2.2).
+    Walk(query, [&](const RaExpr::Ptr& node) {
+      if (node->kind() != RaExpr::Kind::kRepairKey) return;
+      const RepairKeySpec& spec = node->repair_spec();
+      if (spec.weight_column &&
+          std::find(spec.key_columns.begin(), spec.key_columns.end(),
+                    *spec.weight_column) != spec.key_columns.end()) {
+        sink->Error(kCodeRepairSpecWeightIsKey, StatusCode::kInvalidArgument,
+                    SourceSpan(),
+                    "repair-key in the query for '" + relation +
+                        "' lists its weight column '" + *spec.weight_column +
+                        "' among the key columns; a weight cannot key its "
+                        "own choice group");
+      }
+    });
+
+    // Pass 3: value invention (active-domain bound, Prop 5.4).
+    Walk(query, [&](const RaExpr::Ptr& node) {
+      if (node->kind() != RaExpr::Kind::kExtend) return;
+      if (!ScalarInventsValues(node->extend_expr())) return;
+      any_invention = true;
+      sink->Warning(kCodeValueInvention, SourceSpan(),
+                    "query for '" + relation + "' extends with '" +
+                        node->extend_expr()->ToString() +
+                        "', inventing values outside the active domain; "
+                        "the reachable state space may be unbounded and "
+                        "exploration may not terminate");
+    });
+
+    // Pass 4: non-monotone self-dependency (stratification condition).
+    if (ReadsUnderDifference(query, relation, /*negated=*/false)) {
+      sink->Warning(kCodeNonMonotoneCycle, SourceSpan(),
+                    "query for '" + relation + "' subtracts '" + relation +
+                        "' from itself (reads it under the right side of a "
+                        "difference); the induced chain can oscillate "
+                        "instead of converging monotonically");
+    }
+  }
+
+  if (options.emit_notes && !any_invention &&
+      !interpretation.queries().empty()) {
+    sink->Note(kCodeBoundedStateSpace, SourceSpan(),
+               "no value invention in any kernel query: the reachable "
+               "state space is bounded by the active domain");
+  }
+}
+
+Status ValidateInflationary(const InflationaryQuery& query) {
+  DiagnosticSink sink;
+  InterpretationAnalysisOptions options;
+  options.expect_inflationary = true;
+  options.emit_notes = false;
+  AnalyzeInterpretation(query.kernel, options, &sink);
+  return sink.ToStatus();
+}
+
+}  // namespace analysis
+}  // namespace pfql

@@ -1,0 +1,69 @@
+// Static analysis of FO interpretations (transition kernels, Def 3.1):
+// syntactic verification of the inflationary fragment (Def 3.4), value
+// invention that can unbound the reachable state space, repair-key spec
+// well-formedness, and non-monotone self-dependencies. Programmatic RaExpr
+// trees carry no source text, so these diagnostics render without spans;
+// the structured code/severity/message contract is identical to the
+// datalog-side analyzer.
+#ifndef PFQL_ANALYSIS_INTERP_ANALYSIS_H_
+#define PFQL_ANALYSIS_INTERP_ANALYSIS_H_
+
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "lang/interpretation.h"
+#include "ra/ra_expr.h"
+
+namespace pfql {
+namespace analysis {
+
+/// Three-valued syntactic verdict for "Q_R contains the identity on R"
+/// (the per-relation obligation of Def 3.4's I ⊆ Q(I)).
+enum class ContainmentVerdict {
+  kProvablyContains,     ///< e.g. Q_R = R ∪ ..., or intersections thereof.
+  kProvablyViolates,     ///< Q_R cannot echo R (does not read R / constant).
+  kUnknown,              ///< reads R, but no syntactic containment proof.
+};
+
+/// Decides whether `query` provably contains the identity on `relation`:
+/// Base(relation) proves it, Union proves it if either side does,
+/// Intersect if both sides do. Queries that never read `relation` (or are
+/// constants) provably violate containment — RA is generic, so a fresh
+/// value placed in `relation` can never reappear in the output. Everything
+/// else is kUnknown ("cannot verify").
+ContainmentVerdict VerifyContainsIdentity(const RaExpr::Ptr& query,
+                                          const std::string& relation);
+
+struct InterpretationAnalysisOptions {
+  /// The kernel is intended to be inflationary (Def 3.4): report E050 for
+  /// provable violations and W051 for unverifiable queries. When false,
+  /// only N052 notes are emitted for provably inflationary queries.
+  bool expect_inflationary = false;
+  bool emit_notes = true;
+};
+
+/// Runs every interpretation pass over `interpretation`, reporting into
+/// `sink`:
+///  * Def 3.4 verification per defined query (E050 / W051 / N052);
+///  * repair-key specs whose weight column is listed among the key columns
+///    (E051, Sec 2.2 well-formedness);
+///  * value invention — Extend nodes computing non-column values and Const
+///    relations injecting literals — which voids the active-domain bound
+///    on the reachable state space (W043), otherwise N042;
+///  * non-monotone self-dependency: a relation whose own next-state query
+///    reads it under Difference's right side or under RepairKey (W054),
+///    the stratification-style condition for monotone convergence.
+void AnalyzeInterpretation(const Interpretation& interpretation,
+                           const InterpretationAnalysisOptions& options,
+                           DiagnosticSink* sink);
+
+/// Status adapter mirroring the legacy API shape: verifies that every
+/// defined query of `query.kernel` provably or plausibly satisfies
+/// Def 3.4, failing with the first E050 found. W051 "cannot verify"
+/// findings do not fail the check.
+Status ValidateInflationary(const InflationaryQuery& query);
+
+}  // namespace analysis
+}  // namespace pfql
+
+#endif  // PFQL_ANALYSIS_INTERP_ANALYSIS_H_

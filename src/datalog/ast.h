@@ -15,6 +15,7 @@
 
 #include "relational/expr.h"
 #include "relational/value.h"
+#include "util/source_span.h"
 
 namespace pfql {
 namespace datalog {
@@ -46,12 +47,16 @@ struct Term {
   Kind kind = Kind::kConstant;
   std::string var;
   Value value;
+  /// Source location of the term's token; unknown for programmatic ASTs.
+  SourceSpan span;
 };
 
 /// A relational atom p(t₁, ..., tₖ) in a rule body.
 struct Atom {
   std::string predicate;
   std::vector<Term> terms;
+  /// Covers the predicate name through the closing parenthesis.
+  SourceSpan span;
 
   std::string ToString() const;
 };
@@ -60,6 +65,8 @@ struct Atom {
 struct BuiltinAtom {
   CmpOp op = CmpOp::kEq;
   Term lhs, rhs;
+  /// Covers lhs through rhs.
+  SourceSpan span;
 
   std::string ToString() const;
 };
@@ -79,6 +86,14 @@ struct Head {
   std::vector<Term> terms;
   std::vector<bool> is_key;  // parallel to terms
   std::optional<std::string> weight_var;
+  /// Covers the predicate name through ')' / the @weight variable.
+  SourceSpan span;
+  /// Location of the weight variable token, when present.
+  SourceSpan weight_span;
+  /// True iff the concrete syntax carried explicit <...> key markers (as
+  /// opposed to the classical-rule convention keying every position).
+  /// Lets the analyzer distinguish `h(<X>) :- ...` from `h(X) :- ...`.
+  bool explicit_keys = false;
 
   /// True iff every *variable* head position is a key. Constant positions
   /// are fixed regardless, so they never make a rule probabilistic.
@@ -102,6 +117,8 @@ struct Rule {
   Head head;
   std::vector<Atom> body;
   std::vector<BuiltinAtom> builtins;
+  /// Covers the head through the terminating period.
+  SourceSpan span;
 
   bool IsFact() const { return body.empty() && builtins.empty(); }
 

@@ -64,20 +64,34 @@ Status LexError(size_t line, size_t column, const std::string& message) {
 
 }  // namespace
 
-StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
+StatusOr<std::vector<Token>> Tokenize(std::string_view source,
+                                      SourceSpan* error_span) {
   std::vector<Token> tokens;
   size_t line = 1, column = 1;
+  size_t tok_line = 1, tok_column = 1;  // start of the token being scanned
   size_t i = 0;
   const size_t n = source.size();
 
+  // Call after the token's characters have been consumed: the span runs
+  // from the recorded token start to the current (one-past-end) position.
   auto push = [&](TokenKind kind, std::string text, Value value = Value()) {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
     t.value = std::move(value);
-    t.line = line;
-    t.column = column;
+    t.line = tok_line;
+    t.column = tok_column;
+    t.span.begin = {tok_line, tok_column};
+    t.span.end = {line, column};
     tokens.push_back(std::move(t));
+  };
+  auto fail = [&](size_t err_line, size_t err_column,
+                  const std::string& message) -> Status {
+    if (error_span != nullptr) {
+      error_span->begin = {err_line, err_column};
+      error_span->end = {err_line, err_column + 1};
+    }
+    return LexError(err_line, err_column, message);
   };
   auto advance = [&](size_t count) {
     for (size_t k = 0; k < count && i < n; ++k, ++i) {
@@ -100,94 +114,95 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
       while (i < n && source[i] != '\n') advance(1);
       continue;
     }
+    tok_line = line;
+    tok_column = column;
     if (c == '(') {
-      push(TokenKind::kLParen, "(");
       advance(1);
+      push(TokenKind::kLParen, "(");
       continue;
     }
     if (c == ')') {
-      push(TokenKind::kRParen, ")");
       advance(1);
+      push(TokenKind::kRParen, ")");
       continue;
     }
     if (c == ',') {
-      push(TokenKind::kComma, ",");
       advance(1);
+      push(TokenKind::kComma, ",");
       continue;
     }
     if (c == '.') {
       // Distinguish the rule terminator from a decimal point inside a
       // number; numbers are handled below, so a bare '.' here terminates.
-      push(TokenKind::kPeriod, ".");
       advance(1);
+      push(TokenKind::kPeriod, ".");
       continue;
     }
     if (c == ':') {
       if (i + 1 < n && source[i + 1] == '-') {
-        push(TokenKind::kColonDash, ":-");
         advance(2);
+        push(TokenKind::kColonDash, ":-");
         continue;
       }
-      return LexError(line, column, "expected ':-'");
+      return fail(line, column, "expected ':-'");
     }
     if (c == '@') {
-      push(TokenKind::kAt, "@");
       advance(1);
+      push(TokenKind::kAt, "@");
       continue;
     }
     if (c == '<') {
       if (i + 1 < n && source[i + 1] == '=') {
-        push(TokenKind::kLessEq, "<=");
         advance(2);
+        push(TokenKind::kLessEq, "<=");
       } else {
-        push(TokenKind::kLess, "<");
         advance(1);
+        push(TokenKind::kLess, "<");
       }
       continue;
     }
     if (c == '>') {
       if (i + 1 < n && source[i + 1] == '=') {
-        push(TokenKind::kGreaterEq, ">=");
         advance(2);
+        push(TokenKind::kGreaterEq, ">=");
       } else {
-        push(TokenKind::kGreater, ">");
         advance(1);
+        push(TokenKind::kGreater, ">");
       }
       continue;
     }
     if (c == '=') {
       if (i + 1 < n && source[i + 1] == '=') {
-        push(TokenKind::kEqEq, "==");
         advance(2);
+        push(TokenKind::kEqEq, "==");
       } else {
-        push(TokenKind::kEqEq, "=");
         advance(1);
+        push(TokenKind::kEqEq, "=");
       }
       continue;
     }
     if (c == '!') {
       if (i + 1 < n && source[i + 1] == '=') {
-        push(TokenKind::kNotEq, "!=");
         advance(2);
+        push(TokenKind::kNotEq, "!=");
         continue;
       }
-      return LexError(line, column, "expected '!='");
+      return fail(line, column, "expected '!='");
     }
     if (c == '"' || c == '\'') {
       const char quote = c;
-      size_t start_line = line, start_col = column;
       advance(1);
       std::string text;
       while (i < n && source[i] != quote) {
         if (source[i] == '\n') {
-          return LexError(start_line, start_col,
+          return fail(tok_line, tok_column,
                           "unterminated string literal");
         }
         text.push_back(source[i]);
         advance(1);
       }
       if (i >= n) {
-        return LexError(start_line, start_col, "unterminated string literal");
+        return fail(tok_line, tok_column, "unterminated string literal");
       }
       advance(1);  // closing quote
       push(TokenKind::kString, text, Value(text));
@@ -236,9 +251,11 @@ StatusOr<std::vector<Token>> Tokenize(std::string_view source) {
       push(is_var ? TokenKind::kVariable : TokenKind::kIdent, text);
       continue;
     }
-    return LexError(line, column,
+    return fail(line, column,
                     std::string("unexpected character '") + c + "'");
   }
+  tok_line = line;
+  tok_column = column;
   push(TokenKind::kEof, "");
   return tokens;
 }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "relational/value.h"
+#include "util/source_span.h"
 #include "util/status.h"
 
 namespace pfql {
@@ -38,14 +39,17 @@ struct Token {
   TokenKind kind = TokenKind::kEof;
   std::string text;   // identifier / variable name / raw literal
   Value value;        // for kNumber / kString
-  size_t line = 1;    // 1-based source position
+  size_t line = 1;    // 1-based position of the token's first character
   size_t column = 1;
+  SourceSpan span;    // [first character, one past the last character)
 
   std::string Describe() const;
 };
 
-/// Tokenizes `source`. Comments run from '%' or '#' to end of line.
-StatusOr<std::vector<Token>> Tokenize(std::string_view source);
+/// Tokenizes `source`. Comments run from '%' or '#' to end of line. On
+/// failure, `error_span` (when non-null) receives the offending position.
+StatusOr<std::vector<Token>> Tokenize(std::string_view source,
+                                      SourceSpan* error_span = nullptr);
 
 }  // namespace datalog
 }  // namespace pfql

@@ -9,6 +9,12 @@
 //              | term cmpop term
 //   term      := VAR | IDENT | NUMBER | STRING
 //   cmpop     := "==" | "=" | "!=" | "<" | "<=" | ">" | ">="
+//
+// Two entry points share this implementation: the legacy StatusOr
+// ParseProgram (stops at the first error) and the diagnostics-driven
+// overload, which recovers at rule boundaries (sync on '.') so one lint run
+// reports every malformed rule.
+#include "analysis/diagnostic.h"
 #include "datalog/lexer.h"
 #include "datalog/program.h"
 
@@ -17,15 +23,24 @@ namespace datalog {
 
 namespace {
 
+using analysis::DiagnosticSink;
+
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, DiagnosticSink* sink)
+      : tokens_(std::move(tokens)), sink_(sink) {}
 
-  StatusOr<std::vector<Rule>> ParseRules() {
+  /// Parses all rules, recovering at rule boundaries after errors. Returns
+  /// the successfully parsed rules; errors are in the sink.
+  std::vector<Rule> ParseRules() {
     std::vector<Rule> rules;
     while (Peek().kind != TokenKind::kEof) {
-      PFQL_ASSIGN_OR_RETURN(Rule rule, ParseRule());
-      rules.push_back(std::move(rule));
+      auto rule = ParseRule();
+      if (rule.ok()) {
+        rules.push_back(std::move(rule).value());
+      } else {
+        Synchronize();
+      }
     }
     return rules;
   }
@@ -36,6 +51,8 @@ class Parser {
     return i < tokens_.size() ? tokens_[i] : tokens_.back();
   }
   const Token& Advance() { return tokens_[pos_++]; }
+  /// The most recently consumed token.
+  const Token& Prev() const { return tokens_[pos_ > 0 ? pos_ - 1 : 0]; }
   bool Match(TokenKind kind) {
     if (Peek().kind == kind) {
       ++pos_;
@@ -43,38 +60,65 @@ class Parser {
     }
     return false;
   }
+
+  /// Reports a PFQL-E001 syntax diagnostic at the current token and returns
+  /// a matching ParseError status for abort-propagation.
+  Status SyntaxError(const std::string& message) {
+    sink_->Error(analysis::kCodeSyntax, StatusCode::kParseError, Peek().span,
+                 message);
+    return Status::ParseError(message + ", found " + Peek().Describe());
+  }
+
   Status Expect(TokenKind kind) {
     if (Match(kind)) return Status::OK();
-    return Status::ParseError(std::string("expected ") +
-                              TokenKindToString(kind) + ", found " +
-                              Peek().Describe());
+    return SyntaxError(std::string("expected ") + TokenKindToString(kind));
+  }
+
+  /// Skips tokens until just past the next '.' (or EOF) so parsing can
+  /// resume at the next rule after an error.
+  void Synchronize() {
+    while (Peek().kind != TokenKind::kEof) {
+      if (Advance().kind == TokenKind::kPeriod) return;
+    }
   }
 
   StatusOr<Term> ParseTerm() {
     const Token& t = Peek();
     switch (t.kind) {
-      case TokenKind::kVariable:
+      case TokenKind::kVariable: {
         Advance();
-        return Term::Var(t.text);
-      case TokenKind::kIdent:
+        Term term = Term::Var(t.text);
+        term.span = t.span;
+        return term;
+      }
+      case TokenKind::kIdent: {
         Advance();
-        return Term::Const(Value(t.text));
+        Term term = Term::Const(Value(t.text));
+        term.span = t.span;
+        return term;
+      }
       case TokenKind::kNumber:
-      case TokenKind::kString:
+      case TokenKind::kString: {
         Advance();
-        return Term::Const(t.value);
+        Term term = Term::Const(t.value);
+        term.span = t.span;
+        return term;
+      }
       default:
-        return Status::ParseError("expected a term, found " + t.Describe());
+        return SyntaxError("expected a term");
     }
   }
 
   StatusOr<Rule> ParseRule() {
     Rule rule;
+    const SourceSpan start = Peek().span;
     PFQL_ASSIGN_OR_RETURN(rule.head, ParseHead());
     if (Match(TokenKind::kColonDash)) {
       PFQL_RETURN_NOT_OK(ParseBody(&rule));
     }
     PFQL_RETURN_NOT_OK(Expect(TokenKind::kPeriod));
+    rule.span.begin = start.begin;
+    rule.span.end = Prev().span.end;
     return rule;
   }
 
@@ -82,11 +126,11 @@ class Parser {
     Head head;
     const Token& name = Peek();
     if (name.kind != TokenKind::kIdent) {
-      return Status::ParseError("expected a predicate name, found " +
-                                name.Describe());
+      return SyntaxError("expected a predicate name");
     }
     Advance();
     head.predicate = name.text;
+    head.span = name.span;
     if (Match(TokenKind::kLParen)) {
       if (!Match(TokenKind::kRParen)) {
         do {
@@ -102,17 +146,18 @@ class Parser {
     if (Match(TokenKind::kAt)) {
       const Token& w = Peek();
       if (w.kind != TokenKind::kVariable) {
-        return Status::ParseError("expected a weight variable after '@', "
-                                  "found " +
-                                  w.Describe());
+        return SyntaxError("expected a weight variable after '@'");
       }
       Advance();
       head.weight_var = w.text;
+      head.weight_span = w.span;
     }
+    head.span.end = Prev().span.end;
     // Classical-rule convention: no <...> markers and no @weight means the
     // rule is plain datalog — every position is a key (deterministic).
     bool any_marker = false;
     for (bool k : head.is_key) any_marker = any_marker || k;
+    head.explicit_keys = any_marker;
     if (!any_marker && !head.weight_var) {
       head.is_key.assign(head.is_key.size(), true);
     }
@@ -161,7 +206,9 @@ class Parser {
     // Relational atom: IDENT followed by '(' or by ',' / '.' (nullary).
     if (Peek().kind == TokenKind::kIdent && !IsCmpToken(Peek(1).kind)) {
       Atom atom;
-      atom.predicate = Advance().text;
+      const Token& name = Advance();
+      atom.predicate = name.text;
+      atom.span = name.span;
       if (Match(TokenKind::kLParen)) {
         if (!Match(TokenKind::kRParen)) {
           do {
@@ -171,6 +218,7 @@ class Parser {
           PFQL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
         }
       }
+      atom.span.end = Prev().span.end;
       rule->body.push_back(std::move(atom));
       return Status::OK();
     }
@@ -179,27 +227,59 @@ class Parser {
     PFQL_ASSIGN_OR_RETURN(builtin.lhs, ParseTerm());
     const Token& op = Peek();
     if (!IsCmpToken(op.kind)) {
-      return Status::ParseError("expected a comparison operator, found " +
-                                op.Describe());
+      return SyntaxError("expected a comparison operator");
     }
     Advance();
     builtin.op = ToCmpOp(op.kind);
     PFQL_ASSIGN_OR_RETURN(builtin.rhs, ParseTerm());
+    builtin.span = builtin.lhs.span.CoveringWith(builtin.rhs.span);
     rule->builtins.push_back(std::move(builtin));
     return Status::OK();
   }
 
   std::vector<Token> tokens_;
+  DiagnosticSink* sink_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
+std::vector<Rule> ParseRules(std::string_view source,
+                             analysis::DiagnosticSink* sink) {
+  SourceSpan lex_span;
+  auto tokens = Tokenize(source, &lex_span);
+  if (!tokens.ok()) {
+    // The lexer's Status message embeds "... at line L, column C"; the
+    // diagnostic carries the span structurally, so strip the suffix.
+    std::string message = tokens.status().message();
+    if (size_t at = message.rfind(" at line "); at != std::string::npos) {
+      message = message.substr(0, at);
+    }
+    sink->Error(analysis::kCodeSyntax, StatusCode::kParseError, lex_span,
+                std::move(message));
+    return {};
+  }
+  Parser parser(std::move(tokens).value(), sink);
+  return parser.ParseRules();
+}
+
+std::optional<Program> ParseProgram(std::string_view source,
+                                    analysis::DiagnosticSink* sink) {
+  std::vector<Rule> rules = ParseRules(source, sink);
+  if (sink->HasErrors()) {
+    // Still validate what parsed so one run surfaces as much as possible,
+    // but never hand back a Program built from a partial parse.
+    Program::Make(std::move(rules), sink);
+    return std::nullopt;
+  }
+  return Program::Make(std::move(rules), sink);
+}
+
 StatusOr<Program> ParseProgram(std::string_view source) {
-  PFQL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(source));
-  Parser parser(std::move(tokens));
-  PFQL_ASSIGN_OR_RETURN(std::vector<Rule> rules, parser.ParseRules());
-  return Program::Make(std::move(rules));
+  analysis::DiagnosticSink sink;
+  std::optional<Program> program = ParseProgram(source, &sink);
+  if (!program.has_value()) return sink.ToStatus();
+  return *std::move(program);
 }
 
 }  // namespace datalog

@@ -6,30 +6,48 @@ namespace pfql {
 namespace datalog {
 
 StatusOr<Program> Program::Make(std::vector<Rule> rules) {
+  analysis::DiagnosticSink sink;
+  std::optional<Program> program = Make(std::move(rules), &sink);
+  if (!program.has_value()) return sink.ToStatus();
+  return *std::move(program);
+}
+
+std::optional<Program> Program::Make(std::vector<Rule> rules,
+                                     analysis::DiagnosticSink* sink) {
   Program p;
+  const size_t errors_before = sink->Count(analysis::Severity::kError);
+  // Diagnostics name rules by 1-based index; spans point at the offending
+  // head/atom/term so multi-rule programs stay unambiguous.
+  auto rule_tag = [](size_t index) {
+    return "rule #" + std::to_string(index + 1) + ": ";
+  };
 
   // Pass 1: arities and IDB set.
-  for (const auto& rule : rules) {
-    auto check_arity = [&](const std::string& pred,
-                           size_t arity) -> Status {
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    const Rule& rule = rules[ri];
+    auto check_arity = [&](const std::string& pred, size_t arity,
+                           const SourceSpan& span) {
       auto [it, inserted] = p.arities_.emplace(pred, arity);
       if (!inserted && it->second != arity) {
-        return Status::TypeError("predicate '" + pred +
-                                 "' used with arities " +
-                                 std::to_string(it->second) + " and " +
-                                 std::to_string(arity));
+        sink->Error(analysis::kCodeArityMismatch, StatusCode::kTypeError,
+                    span,
+                    rule_tag(ri) + "predicate '" + pred +
+                        "' used with arity " + std::to_string(arity) +
+                        ", but other occurrences have arity " +
+                        std::to_string(it->second));
       }
-      return Status::OK();
     };
-    PFQL_RETURN_NOT_OK(check_arity(rule.head.predicate,
-                                   rule.head.terms.size()));
+    check_arity(rule.head.predicate, rule.head.terms.size(), rule.head.span);
     if (rule.head.is_key.size() != rule.head.terms.size()) {
-      return Status::Internal("head key-flag vector size mismatch in " +
-                              rule.ToString());
+      sink->Error(analysis::kCodeMalformedAst, StatusCode::kInternal,
+                  rule.span,
+                  rule_tag(ri) + "head key-flag vector size mismatch in " +
+                      rule.ToString());
+      continue;
     }
     p.idb_.insert(rule.head.predicate);
     for (const auto& atom : rule.body) {
-      PFQL_RETURN_NOT_OK(check_arity(atom.predicate, atom.terms.size()));
+      check_arity(atom.predicate, atom.terms.size(), atom.span);
     }
   }
   for (const auto& [pred, _] : p.arities_) {
@@ -37,36 +55,50 @@ StatusOr<Program> Program::Make(std::vector<Rule> rules) {
   }
 
   // Pass 2: safety.
-  for (const auto& rule : rules) {
+  for (size_t ri = 0; ri < rules.size(); ++ri) {
+    const Rule& rule = rules[ri];
     std::vector<std::string> body_vars = rule.BodyVariables();
     auto bound = [&](const std::string& v) {
       return std::find(body_vars.begin(), body_vars.end(), v) !=
              body_vars.end();
     };
     for (const auto& t : rule.head.terms) {
-      if (t.IsVar() && !bound(t.var)) {
-        return Status::InvalidArgument("unsafe rule (head variable '" +
-                                       t.var + "' not bound in body): " +
-                                       rule.ToString());
+      if (!t.IsVar() || bound(t.var)) continue;
+      if (rule.IsFact()) {
+        sink->Error(analysis::kCodeNonGroundFact,
+                    StatusCode::kInvalidArgument, t.span,
+                    rule_tag(ri) + "fact head must be ground, but '" +
+                        t.var + "' is a variable: " + rule.ToString());
+      } else {
+        sink->Error(analysis::kCodeUnsafeHeadVar,
+                    StatusCode::kInvalidArgument, t.span,
+                    rule_tag(ri) + "unsafe rule (head variable '" + t.var +
+                        "' not bound in body): " + rule.ToString());
       }
     }
     if (rule.head.weight_var && !bound(*rule.head.weight_var)) {
-      return Status::InvalidArgument("unsafe rule (weight variable '" +
-                                     *rule.head.weight_var +
-                                     "' not bound in body): " +
-                                     rule.ToString());
+      sink->Error(analysis::kCodeUnsafeWeightVar,
+                  StatusCode::kInvalidArgument, rule.head.weight_span,
+                  rule_tag(ri) + "unsafe rule (weight variable '" +
+                      *rule.head.weight_var +
+                      "' not bound in body): " + rule.ToString());
     }
     for (const auto& builtin : rule.builtins) {
       for (const Term* t : {&builtin.lhs, &builtin.rhs}) {
         if (t->IsVar() && !bound(t->var)) {
-          return Status::InvalidArgument(
-              "unsafe rule (builtin variable '" + t->var +
-              "' not bound in a relational atom): " + rule.ToString());
+          sink->Error(analysis::kCodeUnsafeBuiltinVar,
+                      StatusCode::kInvalidArgument, t->span,
+                      rule_tag(ri) + "unsafe rule (builtin variable '" +
+                          t->var + "' not bound in a relational atom): " +
+                          rule.ToString());
         }
       }
     }
   }
 
+  if (sink->Count(analysis::Severity::kError) > errors_before) {
+    return std::nullopt;
+  }
   p.rules_ = std::move(rules);
   return p;
 }

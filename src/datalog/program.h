@@ -6,10 +6,12 @@
 #define PFQL_DATALOG_PROGRAM_H_
 
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "analysis/diagnostic.h"
 #include "datalog/ast.h"
 #include "relational/instance.h"
 #include "util/status.h"
@@ -27,6 +29,13 @@ class Program {
   ///  * key flags only on rule heads (enforced by the AST shape),
   ///  * weight variable is a body variable.
   static StatusOr<Program> Make(std::vector<Rule> rules);
+
+  /// Diagnostics-driven validation: reports every violation (stable codes
+  /// PFQL-E002..E007, with rule indices and source spans) into `sink`
+  /// instead of stopping at the first. Returns the program iff this call
+  /// added no error to the sink.
+  static std::optional<Program> Make(std::vector<Rule> rules,
+                                     analysis::DiagnosticSink* sink);
 
   const std::vector<Rule>& rules() const { return rules_; }
 
@@ -62,8 +71,20 @@ class Program {
   std::map<std::string, size_t> arities_;
 };
 
-/// Parses program text (see ast.h for the syntax) and validates it.
+/// Parses program text (see ast.h for the syntax) and validates it. Stops
+/// reporting at the first error (via DiagnosticSink::ToStatus).
 StatusOr<Program> ParseProgram(std::string_view source);
+
+/// Diagnostics-driven parse + validation: syntax errors recover at rule
+/// boundaries, so one call reports every malformed rule. Returns the
+/// program only when the source is entirely clean of errors.
+std::optional<Program> ParseProgram(std::string_view source,
+                                    analysis::DiagnosticSink* sink);
+
+/// Parses rules only (no Program validation), recovering at rule
+/// boundaries; syntax diagnostics go to `sink`.
+std::vector<Rule> ParseRules(std::string_view source,
+                             analysis::DiagnosticSink* sink);
 
 }  // namespace datalog
 }  // namespace pfql

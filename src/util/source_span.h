@@ -1,0 +1,62 @@
+// Source positions and spans for text parsed from program files. The lexer
+// stamps every token with its position; the parser aggregates token spans
+// onto AST nodes so later passes (static analysis, diagnostics rendering)
+// can point at the offending source text.
+#ifndef PFQL_UTIL_SOURCE_SPAN_H_
+#define PFQL_UTIL_SOURCE_SPAN_H_
+
+#include <cstddef>
+#include <string>
+
+namespace pfql {
+
+/// A 1-based (line, column) position. line == 0 means "unknown".
+struct SourcePos {
+  size_t line = 0;
+  size_t column = 0;
+
+  bool valid() const { return line > 0; }
+
+  bool operator==(const SourcePos& o) const {
+    return line == o.line && column == o.column;
+  }
+  bool operator<(const SourcePos& o) const {
+    return line != o.line ? line < o.line : column < o.column;
+  }
+};
+
+/// A half-open span [begin, end) over the source text, in (line, column)
+/// coordinates. A default-constructed span is "unknown" and renders as a
+/// location-free diagnostic.
+struct SourceSpan {
+  SourcePos begin;
+  SourcePos end;
+
+  bool valid() const { return begin.valid(); }
+
+  /// The smallest span covering both `this` and `other` (either may be
+  /// unknown, in which case the other wins).
+  SourceSpan CoveringWith(const SourceSpan& other) const {
+    if (!valid()) return other;
+    if (!other.valid()) return *this;
+    SourceSpan out;
+    out.begin = begin < other.begin ? begin : other.begin;
+    out.end = end < other.end ? other.end : end;
+    return out;
+  }
+
+  /// "line L, column C" (begin position only), or "unknown location".
+  std::string ToString() const {
+    if (!valid()) return "unknown location";
+    return "line " + std::to_string(begin.line) + ", column " +
+           std::to_string(begin.column);
+  }
+
+  bool operator==(const SourceSpan& o) const {
+    return begin == o.begin && end == o.end;
+  }
+};
+
+}  // namespace pfql
+
+#endif  // PFQL_UTIL_SOURCE_SPAN_H_

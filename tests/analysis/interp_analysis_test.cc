@@ -1,0 +1,222 @@
+#include "analysis/interp_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace pfql {
+namespace analysis {
+namespace {
+
+std::vector<std::string> CodesOf(const DiagnosticSink& sink) {
+  std::vector<std::string> codes;
+  for (const auto& d : sink.diagnostics()) codes.push_back(d.code);
+  return codes;
+}
+
+bool Has(const std::vector<std::string>& codes, const char* code) {
+  return std::find(codes.begin(), codes.end(), code) != codes.end();
+}
+
+// The random-walk kernel of the paper's Example 3.3:
+//   cur := ρ(π_j(repair-key_i@p(cur ⋈ e)))
+RaExpr::Ptr WalkQuery() {
+  RepairKeySpec spec;
+  spec.key_columns = {"i"};
+  spec.weight_column = "p";
+  return RaExpr::Rename(
+      RaExpr::Project(
+          RaExpr::RepairKey(RaExpr::Join(RaExpr::Base("cur"),
+                                         RaExpr::Base("e")),
+                            spec),
+          {"j"}),
+      {{"j", "i"}});
+}
+
+// ---- VerifyContainsIdentity --------------------------------------------
+
+TEST(VerifyContainsIdentityTest, BaseAndUnionProveContainment) {
+  EXPECT_EQ(VerifyContainsIdentity(RaExpr::Base("r"), "r"),
+            ContainmentVerdict::kProvablyContains);
+  EXPECT_EQ(VerifyContainsIdentity(
+                RaExpr::Union(RaExpr::Base("r"), WalkQuery()), "r"),
+            ContainmentVerdict::kProvablyContains);
+  // Intersection needs both branches.
+  EXPECT_EQ(VerifyContainsIdentity(
+                RaExpr::Intersect(
+                    RaExpr::Union(RaExpr::Base("r"), RaExpr::Base("s")),
+                    RaExpr::Union(RaExpr::Base("t"), RaExpr::Base("r"))),
+                "r"),
+            ContainmentVerdict::kProvablyContains);
+  EXPECT_EQ(VerifyContainsIdentity(
+                RaExpr::Intersect(RaExpr::Base("r"), RaExpr::Base("s")),
+                "r"),
+            ContainmentVerdict::kUnknown);
+}
+
+TEST(VerifyContainsIdentityTest, NotReadingTheRelationProvablyViolates) {
+  // Genericity: a query that never reads 'cur' cannot echo a fresh value.
+  EXPECT_EQ(VerifyContainsIdentity(RaExpr::Base("e"), "cur"),
+            ContainmentVerdict::kProvablyViolates);
+  EXPECT_EQ(VerifyContainsIdentity(RaExpr::Const(Relation(Schema({"i"}))),
+                                   "cur"),
+            ContainmentVerdict::kProvablyViolates);
+}
+
+TEST(VerifyContainsIdentityTest, ReadingWithoutProofIsUnknown) {
+  EXPECT_EQ(VerifyContainsIdentity(WalkQuery(), "cur"),
+            ContainmentVerdict::kUnknown);
+  EXPECT_EQ(VerifyContainsIdentity(
+                RaExpr::Project(RaExpr::Base("cur"), {"i"}), "cur"),
+            ContainmentVerdict::kUnknown);
+}
+
+// ---- AnalyzeInterpretation ---------------------------------------------
+
+TEST(AnalyzeInterpretationTest, InflationaryByConstructionGetsNotes) {
+  Interpretation kernel;
+  kernel.Define("cur", WalkQuery());
+  Interpretation inflationary = kernel.Inflationary();
+
+  DiagnosticSink sink;
+  InterpretationAnalysisOptions options;
+  options.expect_inflationary = true;
+  AnalyzeInterpretation(inflationary, options, &sink);
+  auto codes = CodesOf(sink);
+  EXPECT_FALSE(sink.HasErrors());
+  EXPECT_FALSE(Has(codes, kCodeCannotVerifyInflationary));
+  EXPECT_TRUE(Has(codes, kCodeProvablyInflationary));
+  EXPECT_TRUE(Has(codes, kCodeBoundedStateSpace));
+}
+
+TEST(AnalyzeInterpretationTest, NonReadingQueryIsNotInflationary) {
+  Interpretation kernel;
+  kernel.Define("cur", RaExpr::Base("e"));
+
+  DiagnosticSink sink;
+  InterpretationAnalysisOptions options;
+  options.expect_inflationary = true;
+  AnalyzeInterpretation(kernel, options, &sink);
+  EXPECT_TRUE(Has(CodesOf(sink), kCodeNotInflationary));
+  EXPECT_TRUE(sink.HasErrors());
+}
+
+TEST(AnalyzeInterpretationTest, UnverifiableQueryGetsWarningTier) {
+  Interpretation kernel;
+  kernel.Define("cur", WalkQuery());
+
+  DiagnosticSink sink;
+  InterpretationAnalysisOptions options;
+  options.expect_inflationary = true;
+  AnalyzeInterpretation(kernel, options, &sink);
+  auto codes = CodesOf(sink);
+  EXPECT_TRUE(Has(codes, kCodeCannotVerifyInflationary));
+  EXPECT_FALSE(sink.HasErrors());
+}
+
+TEST(AnalyzeInterpretationTest, NoInflationaryFindingsWhenNotExpected) {
+  Interpretation kernel;
+  kernel.Define("cur", RaExpr::Base("e"));
+
+  DiagnosticSink sink;
+  AnalyzeInterpretation(kernel, {}, &sink);
+  auto codes = CodesOf(sink);
+  EXPECT_FALSE(Has(codes, kCodeNotInflationary));
+  EXPECT_FALSE(Has(codes, kCodeCannotVerifyInflationary));
+}
+
+TEST(AnalyzeInterpretationTest, WeightAmongKeyColumnsIsAnError) {
+  RepairKeySpec spec;
+  spec.key_columns = {"i", "p"};
+  spec.weight_column = "p";
+  Interpretation kernel;
+  kernel.Define("cur", RaExpr::RepairKey(RaExpr::Base("cur"), spec));
+
+  DiagnosticSink sink;
+  AnalyzeInterpretation(kernel, {}, &sink);
+  EXPECT_TRUE(Has(CodesOf(sink), kCodeRepairSpecWeightIsKey));
+}
+
+TEST(AnalyzeInterpretationTest, ArithmeticExtendWarnsValueInvention) {
+  Interpretation kernel;
+  kernel.Define("cnt",
+                RaExpr::Extend(RaExpr::Base("cnt"), "n1",
+                               ScalarExpr::Add(ScalarExpr::Column("n"),
+                                               ScalarExpr::Const(Value(1)))));
+
+  DiagnosticSink sink;
+  AnalyzeInterpretation(kernel, {}, &sink);
+  auto codes = CodesOf(sink);
+  EXPECT_TRUE(Has(codes, kCodeValueInvention));
+  EXPECT_FALSE(Has(codes, kCodeBoundedStateSpace));
+}
+
+TEST(AnalyzeInterpretationTest, ColumnCopyExtendDoesNotWarn) {
+  Interpretation kernel;
+  kernel.Define("r", RaExpr::Extend(RaExpr::Base("r"), "copy",
+                                    ScalarExpr::Column("i")));
+
+  DiagnosticSink sink;
+  AnalyzeInterpretation(kernel, {}, &sink);
+  auto codes = CodesOf(sink);
+  EXPECT_FALSE(Has(codes, kCodeValueInvention));
+  EXPECT_TRUE(Has(codes, kCodeBoundedStateSpace));
+}
+
+TEST(AnalyzeInterpretationTest, SelfSubtractionWarnsNonMonotone) {
+  Interpretation kernel;
+  kernel.Define("r", RaExpr::Difference(RaExpr::Base("s"),
+                                        RaExpr::Base("r")));
+
+  DiagnosticSink sink;
+  AnalyzeInterpretation(kernel, {}, &sink);
+  EXPECT_TRUE(Has(CodesOf(sink), kCodeNonMonotoneCycle));
+}
+
+TEST(AnalyzeInterpretationTest, DoubleNegationIsMonotoneAgain) {
+  // r appears under two nested differences: the parity flips back.
+  Interpretation kernel;
+  kernel.Define(
+      "r", RaExpr::Difference(
+               RaExpr::Base("s"),
+               RaExpr::Difference(RaExpr::Base("t"), RaExpr::Base("r"))));
+
+  DiagnosticSink sink;
+  AnalyzeInterpretation(kernel, {}, &sink);
+  EXPECT_FALSE(Has(CodesOf(sink), kCodeNonMonotoneCycle));
+}
+
+// ---- Status adapter -----------------------------------------------------
+
+TEST(ValidateInflationaryTest, AcceptsInflationaryByConstruction) {
+  Interpretation kernel;
+  kernel.Define("cur", WalkQuery());
+  InflationaryQuery query;
+  query.kernel = kernel.Inflationary();
+  query.event = {"cur", Tuple{Value(2)}};
+  EXPECT_TRUE(ValidateInflationary(query).ok());
+}
+
+TEST(ValidateInflationaryTest, UnverifiableQueriesPass) {
+  // W051 "cannot verify" must not fail the Status adapter.
+  InflationaryQuery query;
+  query.kernel.Define("cur", WalkQuery());
+  query.event = {"cur", Tuple{Value(2)}};
+  EXPECT_TRUE(ValidateInflationary(query).ok());
+}
+
+TEST(ValidateInflationaryTest, RejectsProvableViolation) {
+  InflationaryQuery query;
+  query.kernel.Define("cur", RaExpr::Base("e"));
+  query.event = {"cur", Tuple{Value(2)}};
+  Status status = ValidateInflationary(query);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("PFQL-E050"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pfql

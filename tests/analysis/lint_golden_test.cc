@@ -1,0 +1,135 @@
+// Golden-file tests for the lint pipeline: every fixture program under
+// tests/data/analysis/ has a .golden file holding the exact rendered
+// diagnostics, and every checked-in example program must lint clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+
+namespace pfql {
+namespace analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<fs::path> ProgramsIn(const fs::path& dir) {
+  std::vector<fs::path> programs;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".dl") programs.push_back(entry.path());
+  }
+  std::sort(programs.begin(), programs.end());
+  EXPECT_FALSE(programs.empty()) << "no .dl programs under " << dir;
+  return programs;
+}
+
+TEST(LintGoldenTest, FixturesMatchGoldenOutput) {
+  const fs::path dir = fs::path(PFQL_REPO_DIR) / "tests/data/analysis";
+  for (const auto& program : ProgramsIn(dir)) {
+    fs::path golden_path = program;
+    golden_path.replace_extension(".golden");
+    ASSERT_TRUE(fs::exists(golden_path))
+        << program << " has no matching .golden file";
+    const std::string source = ReadFileOrDie(program);
+    const std::string golden = ReadFileOrDie(golden_path);
+
+    LintResult result = LintProgramSource(source);
+    RenderOptions options;
+    options.filename = program.filename().string();
+    EXPECT_EQ(RenderDiagnostics(result.sink, source, options), golden)
+        << "rendered diagnostics for " << program
+        << " diverge from the golden file; regenerate with\n  pfql-lint "
+        << options.filename << " > " << golden_path.filename().string();
+  }
+}
+
+TEST(LintGoldenTest, ErrorFixturesFailAndOkFixturesSucceed) {
+  const fs::path dir = fs::path(PFQL_REPO_DIR) / "tests/data/analysis";
+  for (const auto& program : ProgramsIn(dir)) {
+    const std::string name = program.filename().string();
+    LintResult result = LintProgramSource(ReadFileOrDie(program));
+    if (name.rfind("e0", 0) == 0) {
+      EXPECT_TRUE(result.sink.HasErrors()) << name;
+      // The fixture's file name announces the code it triggers.
+      const std::string code = "PFQL-E" + name.substr(1, 3);
+      bool found = false;
+      for (const auto& d : result.sink.diagnostics()) found |= d.code == code;
+      EXPECT_TRUE(found) << name << " did not report " << code;
+    } else if (name.rfind("w0", 0) == 0) {
+      EXPECT_FALSE(result.sink.HasErrors()) << name;
+      const std::string code = "PFQL-W" + name.substr(1, 3);
+      bool found = false;
+      for (const auto& d : result.sink.diagnostics()) found |= d.code == code;
+      EXPECT_TRUE(found) << name << " did not report " << code;
+    } else {
+      EXPECT_FALSE(result.sink.HasErrors()) << name;
+      EXPECT_EQ(result.sink.Count(Severity::kWarning), 0u) << name;
+    }
+  }
+}
+
+TEST(LintCleanTest, CheckedInProgramsLintWithoutErrorsOrWarnings) {
+  const fs::path repo = PFQL_REPO_DIR;
+  for (const auto& dir : {repo / "tests/data", repo / "examples/programs"}) {
+    for (const auto& program : ProgramsIn(dir)) {
+      LintResult result = LintProgramSource(ReadFileOrDie(program));
+      ASSERT_TRUE(result.program.has_value()) << program;
+      EXPECT_EQ(result.sink.Count(Severity::kError), 0u) << program;
+      EXPECT_EQ(result.sink.Count(Severity::kWarning), 0u) << program;
+    }
+  }
+}
+
+/// Fenced ```datalog blocks of a markdown file, in order.
+std::vector<std::string> DatalogBlocks(const std::string& markdown) {
+  std::vector<std::string> blocks;
+  std::istringstream in(markdown);
+  std::string line, block;
+  bool inside = false;
+  while (std::getline(in, line)) {
+    if (!inside && line == "```datalog") {
+      inside = true;
+      block.clear();
+    } else if (inside && line.rfind("```", 0) == 0) {
+      inside = false;
+      blocks.push_back(block);
+    } else if (inside) {
+      block += line + "\n";
+    }
+  }
+  return blocks;
+}
+
+TEST(LintCleanTest, LanguageReferenceProgramsLintClean) {
+  const std::string markdown =
+      ReadFileOrDie(fs::path(PFQL_REPO_DIR) / "docs/LANGUAGE.md");
+  const std::vector<std::string> blocks = DatalogBlocks(markdown);
+  ASSERT_FALSE(blocks.empty()) << "no ```datalog blocks in LANGUAGE.md";
+  for (size_t i = 0; i < blocks.size(); ++i) {
+    LintResult result = LintProgramSource(blocks[i]);
+    ASSERT_TRUE(result.program.has_value())
+        << "LANGUAGE.md datalog block #" << i + 1 << " does not parse:\n"
+        << RenderDiagnostics(result.sink, blocks[i]);
+    EXPECT_EQ(result.sink.Count(Severity::kError), 0u) << "block #" << i + 1;
+    EXPECT_EQ(result.sink.Count(Severity::kWarning), 0u)
+        << "block #" << i + 1;
+  }
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pfql

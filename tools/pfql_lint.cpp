@@ -1,0 +1,148 @@
+// pfql-lint: static analyzer front-end for probabilistic datalog programs.
+//
+//   pfql-lint [options] FILE...
+//
+//   --werror          treat warnings as errors (exit 1)
+//   --json            machine-readable output (one JSON array, all files)
+//   --no-notes        suppress N-severity fragment/termination hints
+//   --goal PRED       query event relation (bare name or ground atom such
+//                     as 'cur(2)'); enables the dead-predicate pass
+//   --codes           list every diagnostic code and exit
+//
+// Exit status: 0 clean (warnings allowed), 1 diagnostics at error severity
+// (or warnings under --werror), 2 usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostic.h"
+
+using namespace pfql;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: pfql-lint [--werror] [--json] [--no-notes]\n"
+               "                 [--goal PRED] [--codes] FILE...\n");
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+/// Accepts either a bare relation name or a ground atom ('cur(2)').
+std::string GoalRelation(const std::string& goal) {
+  size_t paren = goal.find('(');
+  std::string name = paren == std::string::npos ? goal
+                                                : goal.substr(0, paren);
+  while (!name.empty() && name.back() == ' ') name.pop_back();
+  return name;
+}
+
+int ListCodes() {
+  for (const auto& info : analysis::AllDiagnosticCodes()) {
+    std::printf("%s  %-7s  %s\n", info.code,
+                analysis::SeverityToString(info.default_severity),
+                info.title);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool werror = false, json = false, notes = true;
+  std::string goal;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--no-notes") {
+      notes = false;
+    } else if (arg == "--codes") {
+      return ListCodes();
+    } else if (arg == "--goal" || arg == "--event") {
+      if (i + 1 >= argc) return Usage();
+      goal = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "pfql-lint: unknown option '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage();
+
+  analysis::AnalyzerOptions options;
+  options.emit_notes = notes;
+  if (!goal.empty()) options.goal_predicate = GoalRelation(goal);
+
+  size_t total_errors = 0, total_warnings = 0;
+  std::vector<std::string> json_objects;
+  for (const auto& file : files) {
+    std::string source;
+    if (!ReadFile(file, &source)) {
+      std::fprintf(stderr, "pfql-lint: cannot open '%s'\n", file.c_str());
+      return 2;
+    }
+    analysis::LintResult result =
+        analysis::LintProgramSource(source, options);
+    total_errors += result.sink.Count(analysis::Severity::kError);
+    total_warnings += result.sink.Count(analysis::Severity::kWarning);
+    if (json) {
+      // Collect each file's diagnostics; a single array is printed below.
+      std::string array = analysis::DiagnosticsToJson(
+          result.sink.diagnostics(), file);
+      std::string body = array.substr(1, array.size() - 2);  // strip [ ]
+      if (body.find('{') != std::string::npos) {
+        // Trim the trailing newline DiagnosticsToJson places before ']'.
+        while (!body.empty() && (body.back() == '\n' || body.back() == ' ')) {
+          body.pop_back();
+        }
+        json_objects.push_back(std::move(body));
+      }
+    } else {
+      analysis::RenderOptions render;
+      render.filename = file;
+      render.show_notes = notes;
+      std::string rendered =
+          analysis::RenderDiagnostics(result.sink, source, render);
+      std::fputs(rendered.c_str(), stdout);
+    }
+  }
+
+  if (json) {
+    std::string out = "[";
+    for (size_t i = 0; i < json_objects.size(); ++i) {
+      if (i > 0) out += ",";
+      out += json_objects[i];
+    }
+    out += json_objects.empty() ? "]" : "\n]";
+    std::printf("%s\n", out.c_str());
+  }
+
+  if (total_errors > 0) return 1;
+  if (werror && total_warnings > 0) {
+    if (!json) {
+      std::fprintf(stderr,
+                   "pfql-lint: treating %zu warning%s as errors (--werror)\n",
+                   total_warnings, total_warnings == 1 ? "" : "s");
+    }
+    return 1;
+  }
+  return 0;
+}
