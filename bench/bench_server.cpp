@@ -1,0 +1,172 @@
+// Throughput/latency benchmark for the query service and the pfqld TCP
+// front-end. Measures (a) in-process exact-query latency cold vs cached,
+// (b) NDJSON round-trip overhead over loopback TCP, and (c) sustained
+// multi-client throughput against the worker pool. Emits BENCH_pr3.json
+// (machine-readable) next to the human-readable table.
+//
+//   bench_server [clients] [requests_per_client]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/client.h"
+#include "server/tcp_server.h"
+#include "util/json.h"
+
+using namespace pfql;
+
+namespace {
+
+constexpr char kCoinProgram[] = "flip(<K>, V) :- opts(K, V).\n";
+constexpr char kCoinData[] =
+    "relation opts(k, v) {\n  (0, 0)\n  (0, 1)\n}\n";
+
+server::Request CoinRequest(server::RequestKind kind) {
+  server::Request request;
+  request.kind = kind;
+  request.program_text = kCoinProgram;
+  request.data_text = kCoinData;
+  request.event = "flip(0, 1)";
+  return request;
+}
+
+double Percentile(std::vector<double> us, double p) {
+  if (us.empty()) return 0.0;
+  std::sort(us.begin(), us.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(us.size()));
+  return us[idx >= us.size() ? us.size() - 1 : idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int per_client = argc > 2 ? std::atoi(argv[2]) : 200;
+
+  Json report = Json::Object();
+  report.Set("bench", "server");
+
+  // (a) In-process latency: cold exact evaluation vs result-cache hit.
+  {
+    server::QueryService service;
+    const server::Request request = CoinRequest(server::RequestKind::kExact);
+    const double cold_ms =
+        bench::TimeMs([&] { service.Call(request); });
+    constexpr int kHits = 1000;
+    const double hits_ms = bench::TimeMs([&] {
+      for (int i = 0; i < kHits; ++i) service.Call(request);
+    });
+    const double hit_us = hits_ms * 1000.0 / kHits;
+    bench::PrintRow({"in-process", "cold_ms", bench::Fmt(cold_ms),
+                     "cached_us", bench::Fmt(hit_us)});
+    Json in_process = Json::Object();
+    in_process.Set("cold_ms", cold_ms);
+    in_process.Set("cached_us", hit_us);
+    in_process.Set("cache_speedup",
+                   hit_us > 0 ? cold_ms * 1000.0 / hit_us : 0.0);
+    report.Set("in_process_exact", std::move(in_process));
+  }
+
+  // (b) Wire overhead: ping round-trips over loopback TCP.
+  {
+    server::QueryService service;
+    server::TcpServer tcp(&service);
+    if (!tcp.Start().ok()) {
+      std::fprintf(stderr, "bench_server: cannot start TCP server\n");
+      return 1;
+    }
+    server::Client client;
+    if (!client.Connect(tcp.port()).ok()) {
+      std::fprintf(stderr, "bench_server: cannot connect\n");
+      return 1;
+    }
+    constexpr int kPings = 2000;
+    std::vector<double> lat_us;
+    lat_us.reserve(kPings);
+    for (int i = 0; i < kPings; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      auto response = client.RoundTrip("{\"method\":\"ping\"}");
+      const auto end = std::chrono::steady_clock::now();
+      if (!response.ok()) {
+        std::fprintf(stderr, "bench_server: ping failed\n");
+        return 1;
+      }
+      lat_us.push_back(
+          std::chrono::duration<double, std::micro>(end - start).count());
+    }
+    tcp.Stop();
+    bench::PrintRow({"tcp-ping", "p50_us", bench::Fmt(Percentile(lat_us, 0.5)),
+                     "p99_us", bench::Fmt(Percentile(lat_us, 0.99))});
+    Json ping = Json::Object();
+    ping.Set("round_trips", kPings);
+    ping.Set("p50_us", Percentile(lat_us, 0.5));
+    ping.Set("p99_us", Percentile(lat_us, 0.99));
+    report.Set("tcp_ping", std::move(ping));
+  }
+
+  // (c) Sustained throughput: N concurrent TCP clients issuing exact
+  // queries (first one computes, the rest hit the shared result cache).
+  {
+    server::ServiceOptions options;
+    options.workers = 4;
+    options.queue_capacity = 256;
+    server::QueryService service(options);
+    server::TcpServer tcp(&service);
+    if (!tcp.Start().ok()) {
+      std::fprintf(stderr, "bench_server: cannot start TCP server\n");
+      return 1;
+    }
+    const std::string request_line =
+        "{\"method\":\"exact\",\"program_text\":"
+        "\"flip(<K>, V) :- opts(K, V).\",\"data_text\":"
+        "\"relation opts(k, v) {\\n  (0, 0)\\n  (0, 1)\\n}\","
+        "\"event\":\"flip(0, 1)\"}";
+    std::atomic<int> failures{0};
+    const double wall_ms = bench::TimeMs([&] {
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<size_t>(clients));
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+          server::Client client;
+          if (!client.Connect(tcp.port()).ok()) {
+            ++failures;
+            return;
+          }
+          for (int i = 0; i < per_client; ++i) {
+            auto response = client.RoundTrip(request_line);
+            if (!response.ok()) {
+              ++failures;
+              return;
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    });
+    tcp.Stop();
+    const double total = static_cast<double>(clients) * per_client;
+    const double rps = wall_ms > 0 ? total * 1000.0 / wall_ms : 0.0;
+    bench::PrintRow({"tcp-throughput", "clients", bench::FmtInt(clients),
+                     "rps", bench::Fmt(rps, 1),
+                     "failures", bench::FmtInt(failures.load())});
+    Json throughput = Json::Object();
+    throughput.Set("clients", clients);
+    throughput.Set("requests_per_client", per_client);
+    throughput.Set("wall_ms", wall_ms);
+    throughput.Set("requests_per_second", rps);
+    throughput.Set("failures", failures.load());
+    report.Set("tcp_throughput", std::move(throughput));
+  }
+
+  std::ofstream out("BENCH_pr3.json");
+  out << report.DumpPretty() << "\n";
+  std::printf("wrote BENCH_pr3.json\n");
+  return 0;
+}

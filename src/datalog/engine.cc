@@ -173,7 +173,10 @@ class ExactTraversal {
                  const ExactInflationaryOptions& options,
                  std::function<Status(const Instance&, const BigRational&)>
                      on_fixpoint)
-      : cp_(cp), options_(options), on_fixpoint_(std::move(on_fixpoint)) {}
+      : cp_(cp),
+        options_(options),
+        on_fixpoint_(std::move(on_fixpoint)),
+        poller_(options.cancel) {}
 
   Status Run(Instance db, std::vector<Relation> old_vals) {
     return Visit(std::move(db), std::move(old_vals), BigRational(1));
@@ -193,8 +196,10 @@ class ExactTraversal {
     if (++nodes_ > options_.max_nodes) {
       return Status::ResourceExhausted(
           "exact evaluation exceeded max_nodes = " +
-          std::to_string(options_.max_nodes));
+          std::to_string(options_.max_nodes) + " (visited " +
+          std::to_string(nodes_) + " nodes)");
     }
+    PFQL_RETURN_NOT_OK(poller_.Tick());
     const auto& rules = cp_.program.rules();
 
     // Evaluate all bodies on the old state; collect new valuations.
@@ -260,6 +265,7 @@ class ExactTraversal {
   const CompiledProgram& cp_;
   const ExactInflationaryOptions& options_;
   std::function<Status(const Instance&, const BigRational&)> on_fixpoint_;
+  CancelPoller poller_;
   size_t nodes_ = 0;
 };
 

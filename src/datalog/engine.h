@@ -20,6 +20,7 @@
 #include "lang/interpretation.h"
 #include "prob/distribution.h"
 #include "ra/ra_expr.h"
+#include "util/cancellation.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -61,6 +62,9 @@ class InflationaryEngine {
 struct ExactInflationaryOptions {
   /// Maximum computation-tree nodes to visit before ResourceExhausted.
   size_t max_nodes = 1 << 22;
+  /// Optional cooperative cancel/deadline token, polled at a stride over
+  /// visited nodes. Non-owning; may be null.
+  const CancellationToken* cancel = nullptr;
   ExactEvalOptions eval;
 };
 

@@ -85,8 +85,15 @@ struct WorkerTally {
 void RunWorker(const datalog::Program& program, const QueryEvent& event,
                size_t samples, Rng rng,
                const std::function<StatusOr<Instance>(Rng*)>& draw_world,
-               WorkerTally* tally) {
+               const CancellationToken* cancel, WorkerTally* tally) {
   for (size_t i = 0; i < samples; ++i) {
+    if (cancel != nullptr) {
+      Status cancelled = cancel->Check();
+      if (!cancelled.ok()) {
+        tally->status = std::move(cancelled);
+        return;
+      }
+    }
     auto world = draw_world(&rng);
     if (!world.ok()) {
       tally->status = world.status();
@@ -121,14 +128,14 @@ StatusOr<ApproxResult> RunSamples(
 
   if (workers == 1) {
     RunWorker(program, event, shares[0], rng->Fork(), draw_world,
-              &tallies[0]);
+              params.cancel, &tallies[0]);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
       pool.emplace_back(RunWorker, std::cref(program), std::cref(event),
                         shares[w], rng->Fork(), std::cref(draw_world),
-                        &tallies[w]);
+                        params.cancel, &tallies[w]);
     }
     for (auto& t : pool) t.join();
   }

@@ -9,6 +9,7 @@
 #include "datalog/engine.h"
 #include "datalog/program.h"
 #include "prob/ctable.h"
+#include "util/cancellation.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -40,6 +41,9 @@ struct ApproxParams {
   /// Worker threads for sampling (samples are embarrassingly parallel;
   /// each worker gets an independently seeded RNG stream).
   size_t threads = 1;
+  /// Optional cooperative cancel/deadline token, polled between samples by
+  /// every worker. Non-owning; may be null.
+  const CancellationToken* cancel = nullptr;
 
   /// The Hoeffding sample count m = ⌈ln(2/δ)/(2ε²)⌉ used by Thm 4.3.
   /// (The paper states ln(1/δ)/(4ε²); we use the standard two-sided

@@ -73,10 +73,14 @@ struct McmcTally {
 };
 
 void McmcWorker(const ForeverQuery& query, const Instance& initial,
-                size_t samples, size_t burn_in, Rng rng, McmcTally* tally) {
+                size_t samples, size_t burn_in,
+                const CancellationToken* cancel, Rng rng, McmcTally* tally) {
+  CancelPoller poller(cancel);
   for (size_t i = 0; i < samples; ++i) {
     Instance state = initial;
     for (size_t t = 0; t < burn_in; ++t) {
+      tally->status = poller.Tick();
+      if (!tally->status.ok()) return;
       auto next = query.kernel.ApplySample(state, &rng);
       if (!next.ok()) {
         tally->status = next.status();
@@ -103,14 +107,15 @@ StatusOr<McmcResult> McmcForever(const ForeverQuery& query,
   for (size_t w = 0; w < result.samples % workers; ++w) ++shares[w];
 
   if (workers == 1) {
-    McmcWorker(query, initial, shares[0], params.burn_in, rng->Fork(),
-               &tallies[0]);
+    McmcWorker(query, initial, shares[0], params.burn_in, params.cancel,
+               rng->Fork(), &tallies[0]);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
       pool.emplace_back(McmcWorker, std::cref(query), std::cref(initial),
-                        shares[w], params.burn_in, rng->Fork(), &tallies[w]);
+                        shares[w], params.burn_in, params.cancel, rng->Fork(),
+                        &tallies[w]);
     }
     for (auto& t : pool) t.join();
   }

@@ -9,6 +9,7 @@
 #include "lang/event.h"
 #include "lang/interpretation.h"
 #include "markov/state_space.h"
+#include "util/cancellation.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -47,6 +48,9 @@ struct McmcParams {
   double delta = 0.05;
   /// Worker threads (independent restarts parallelize trivially).
   size_t threads = 1;
+  /// Optional cooperative cancel/deadline token, polled at a stride over
+  /// burn-in steps by every worker. Non-owning; may be null.
+  const CancellationToken* cancel = nullptr;
 
   size_t SampleCount() const;
 };

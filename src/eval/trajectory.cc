@@ -21,11 +21,13 @@ StatusOr<TrajectoryResult> TimeAverageEstimate(const Interpretation& kernel,
 
   TrajectoryResult result;
   result.per_run.reserve(params.runs);
+  CancelPoller poller(params.cancel);
   double total = 0.0;
   for (size_t run = 0; run < params.runs; ++run) {
     Instance state = initial;
     size_t hits = 0, counted = 0;
     for (size_t t = 0; t < params.steps; ++t) {
+      PFQL_RETURN_NOT_OK(poller.Tick());
       PFQL_ASSIGN_OR_RETURN(state, kernel.ApplySample(state, rng));
       ++result.total_steps;
       if (t < discard) continue;

@@ -18,6 +18,7 @@
 
 #include "lang/event.h"
 #include "lang/interpretation.h"
+#include "util/cancellation.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -32,6 +33,9 @@ struct TrajectoryParams {
   /// Initial fraction of each trajectory to discard before averaging
   /// (reduces the O(1/k) initialization bias); in [0, 1).
   double discard_fraction = 0.1;
+  /// Optional cooperative cancel/deadline token, polled at a stride over
+  /// simulation steps. Non-owning; may be null.
+  const CancellationToken* cancel = nullptr;
 };
 
 struct TrajectoryResult {

@@ -23,6 +23,15 @@ void ExpandWave(const Interpretation& q, const std::vector<Instance>& states,
                     results) {
   const size_t wave_size = wave_end - wave_begin;
   auto expand_one = [&](size_t k) {
+    // Poll before the (potentially slow) kernel application so an expired
+    // deadline short-circuits the rest of the wave.
+    if (options.cancel != nullptr) {
+      Status cancelled = options.cancel->Check();
+      if (!cancelled.ok()) {
+        (*results)[k].emplace(std::move(cancelled));
+        return;
+      }
+    }
     StatusOr<Distribution<Instance>> successors =
         q.ApplyExact(states[wave_begin + k], options.eval);
     if (successors.ok()) {
@@ -100,6 +109,9 @@ StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
     ExpandWave(q, space.states, wave_begin, wave_end, options, &results);
 
     for (size_t k = 0; k < results.size(); ++k) {
+      if (options.cancel != nullptr) {
+        PFQL_RETURN_NOT_OK(options.cancel->Check());
+      }
       StatusOr<Distribution<Instance>>& successors = *results[k];
       PFQL_RETURN_NOT_OK(successors.status());
       const size_t from = wave_begin + k;
@@ -109,7 +121,9 @@ StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
         if (inserted && space.states.size() > options.max_states) {
           return Status::ResourceExhausted(
               "state space exceeds max_states = " +
-              std::to_string(options.max_states));
+              std::to_string(options.max_states) + " (explored " +
+              std::to_string(space.states.size()) +
+              " states; raise max_states or use the sampling path)");
         }
         edges.push_back({from, to, std::move(outcome.probability)});
       }

@@ -11,6 +11,7 @@
 #include "markov/instance_interner.h"
 #include "markov/markov_chain.h"
 #include "relational/instance.h"
+#include "util/cancellation.h"
 #include "util/status.h"
 
 namespace pfql {
@@ -38,11 +39,16 @@ struct StateSpaceOptions {
   /// Worker threads for expanding a BFS wave. Results are merged in frontier
   /// order, so states, edges, and errors are identical for any value.
   size_t threads = 1;
+  /// Optional cooperative cancel/deadline token, polled once per expanded
+  /// state during the merge pass. Non-owning; may be null.
+  const CancellationToken* cancel = nullptr;
   ExactEvalOptions eval;
 };
 
 /// BFS exploration from `initial` under kernel `q`. Fails with
-/// ResourceExhausted when max_states is exceeded.
+/// ResourceExhausted when max_states is exceeded (the message reports how
+/// many states were explored, so callers can tune the budget), and with
+/// Cancelled/DeadlineExceeded when `options.cancel` fires.
 StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
                                      const Instance& initial,
                                      const StateSpaceOptions& options = {});

@@ -1,0 +1,85 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pfql {
+namespace server {
+
+Status Client::Connect(uint16_t port) {
+  Disconnect();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    Disconnect();
+    return Status::Unavailable("connect 127.0.0.1:" + std::to_string(port) +
+                               ": " + std::strerror(err));
+  }
+  return Status::OK();
+}
+
+void Client::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+StatusOr<std::string> Client::RoundTrip(std::string_view request_line) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string out(request_line);
+  out += '\n';
+  size_t written = 0;
+  while (written < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + written, out.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(std::string("send: ") +
+                                 std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return ReadLine();
+}
+
+StatusOr<Json> Client::Call(const Json& request) {
+  PFQL_ASSIGN_OR_RETURN(std::string line, RoundTrip(request.Dump()));
+  return Json::Parse(line);
+}
+
+StatusOr<std::string> Client::ReadLine() {
+  for (;;) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::Unavailable("connection closed by server");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace server
+}  // namespace pfql

@@ -1,0 +1,47 @@
+// Minimal blocking NDJSON client for pfqld: one TCP connection, one
+// request line out, one response line back. Shared by `pfql client`, the
+// integration tests, and bench_server.
+#ifndef PFQL_SERVER_CLIENT_H_
+#define PFQL_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client() { Disconnect(); }
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to 127.0.0.1:port.
+  Status Connect(uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request line (newline appended) and blocks for the
+  /// response line.
+  StatusOr<std::string> RoundTrip(std::string_view request_line);
+
+  /// RoundTrip + JSON parse of the response.
+  StatusOr<Json> Call(const Json& request);
+
+ private:
+  StatusOr<std::string> ReadLine();
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace server
+}  // namespace pfql
+
+#endif  // PFQL_SERVER_CLIENT_H_

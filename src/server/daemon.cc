@@ -1,0 +1,154 @@
+#include "server/daemon.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "relational/text_io.h"
+
+namespace pfql {
+namespace server {
+
+namespace {
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+StatusOr<std::pair<std::string, std::string>> SplitNameEqPath(
+    const std::string& value, const std::string& flag) {
+  const size_t eq = value.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= value.size()) {
+    return Status::InvalidArgument("--" + flag +
+                                   " expects NAME=PATH, got '" + value + "'");
+  }
+  return std::make_pair(value.substr(0, eq), value.substr(eq + 1));
+}
+
+StatusOr<uint64_t> ParseUint(const std::string& value,
+                             const std::string& flag) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value.empty()) {
+    return Status::InvalidArgument("--" + flag + " expects a number, got '" +
+                                   value + "'");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+}  // namespace
+
+StatusOr<DaemonOptions> ParseDaemonArgs(int argc, char** argv) {
+  DaemonOptions options;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet") {
+      options.quiet = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("missing value for " + arg);
+    }
+    const std::string value = argv[++i];
+    if (arg == "--port") {
+      PFQL_ASSIGN_OR_RETURN(uint64_t v, ParseUint(value, "port"));
+      if (v > 65535) return Status::InvalidArgument("--port out of range");
+      options.tcp.port = static_cast<uint16_t>(v);
+    } else if (arg == "--workers") {
+      PFQL_ASSIGN_OR_RETURN(uint64_t v, ParseUint(value, "workers"));
+      options.service.workers = static_cast<size_t>(v);
+    } else if (arg == "--queue") {
+      PFQL_ASSIGN_OR_RETURN(uint64_t v, ParseUint(value, "queue"));
+      options.service.queue_capacity = static_cast<size_t>(v);
+    } else if (arg == "--cache") {
+      PFQL_ASSIGN_OR_RETURN(uint64_t v, ParseUint(value, "cache"));
+      options.service.cache_entries = static_cast<size_t>(v);
+    } else if (arg == "--timeout-ms") {
+      PFQL_ASSIGN_OR_RETURN(uint64_t v, ParseUint(value, "timeout-ms"));
+      options.service.default_timeout_ms = static_cast<int64_t>(v);
+    } else if (arg == "--program") {
+      PFQL_ASSIGN_OR_RETURN(auto pair, SplitNameEqPath(value, "program"));
+      options.program_files.push_back(std::move(pair));
+    } else if (arg == "--data") {
+      PFQL_ASSIGN_OR_RETURN(auto pair, SplitNameEqPath(value, "data"));
+      options.data_files.push_back(std::move(pair));
+    } else {
+      return Status::InvalidArgument("unknown flag '" + arg + "'");
+    }
+  }
+  return options;
+}
+
+int RunDaemon(const DaemonOptions& options) {
+  QueryService service(options.service);
+  for (const auto& [name, path] : options.program_files) {
+    auto source = ReadFile(path);
+    if (!source.ok()) {
+      std::fprintf(stderr, "error: %s\n", source.status().ToString().c_str());
+      return 1;
+    }
+    Status status = service.RegisterProgram(name, *source);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: program '%s': %s\n", name.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const auto& [name, path] : options.data_files) {
+    auto instance = LoadInstanceFile(path);
+    if (!instance.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   instance.status().ToString().c_str());
+      return 1;
+    }
+    Status status = service.RegisterInstance(name, *std::move(instance));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: instance '%s': %s\n", name.c_str(),
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Block SIGINT/SIGTERM before starting the server so every thread the
+  // server spawns inherits the mask and sigwait below is race-free.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  TcpServer tcp(&service, options.tcp);
+  Status status = tcp.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  // Clients (and the integration tests) parse this line for the port.
+  std::printf("pfqld listening on 127.0.0.1:%u\n",
+              static_cast<unsigned>(tcp.port()));
+  std::fflush(stdout);
+  if (!options.quiet) {
+    std::fprintf(stderr,
+                 "%% %zu workers, queue %zu, cache %zu entries; "
+                 "Ctrl-C to stop\n",
+                 options.service.workers, options.service.queue_capacity,
+                 options.service.cache_entries);
+  }
+
+  int signo = 0;
+  sigwait(&mask, &signo);
+  if (!options.quiet) {
+    std::fprintf(stderr, "%% received signal %d, shutting down\n", signo);
+  }
+  tcp.Stop();
+  return 0;
+}
+
+}  // namespace server
+}  // namespace pfql

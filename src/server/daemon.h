@@ -1,0 +1,40 @@
+// The pfqld daemon driver, shared by the standalone `pfqld` binary and
+// `pfql serve`: argument parsing, program/instance preloading, TCP serving
+// on loopback, and clean SIGINT/SIGTERM shutdown.
+#ifndef PFQL_SERVER_DAEMON_H_
+#define PFQL_SERVER_DAEMON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "server/query_service.h"
+#include "server/tcp_server.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace server {
+
+struct DaemonOptions {
+  TcpServerOptions tcp;
+  ServiceOptions service;
+  /// name=path pairs preloaded into the registry before serving.
+  std::vector<std::pair<std::string, std::string>> program_files;
+  std::vector<std::pair<std::string, std::string>> data_files;
+  /// Suppress the startup banner (the "listening on" line always prints —
+  /// clients parse it to discover an ephemeral port).
+  bool quiet = false;
+};
+
+/// Parses daemon flags (see tools/pfqld.cpp for the list); `argv[0]` is the
+/// first flag, not the binary name.
+StatusOr<DaemonOptions> ParseDaemonArgs(int argc, char** argv);
+
+/// Loads the registries, serves until SIGINT/SIGTERM, then shuts down.
+/// Returns the process exit code.
+int RunDaemon(const DaemonOptions& options);
+
+}  // namespace server
+}  // namespace pfql
+
+#endif  // PFQL_SERVER_DAEMON_H_

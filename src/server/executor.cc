@@ -1,0 +1,225 @@
+#include "server/executor.h"
+
+#include <utility>
+
+#include "datalog/engine.h"
+#include "datalog/query_parse.h"
+#include "datalog/translate.h"
+#include "eval/inflationary.h"
+#include "eval/noninflationary.h"
+#include "eval/partition.h"
+#include "eval/trajectory.h"
+#include "relational/text_io.h"
+#include "util/random.h"
+
+namespace pfql {
+namespace server {
+
+namespace {
+
+void SetProbability(const BigRational& p, Json* payload) {
+  payload->Set("probability", p.ToString());
+  payload->Set("probability_double", p.ToDouble());
+}
+
+StatusOr<Json> ExecuteRun(const Request& request,
+                          const datalog::Program& program,
+                          const Instance& edb) {
+  Rng rng(request.seed);
+  PFQL_ASSIGN_OR_RETURN(datalog::InflationaryEngine engine,
+                        datalog::InflationaryEngine::Make(program, edb));
+  PFQL_ASSIGN_OR_RETURN(Instance fixpoint, engine.RunToFixpoint(&rng));
+  Json payload = Json::Object();
+  payload.Set("steps", engine.steps_taken());
+  payload.Set("fixpoint", FormatInstance(fixpoint));
+  return payload;
+}
+
+StatusOr<Json> ExecuteExact(const Request& request,
+                            const datalog::Program& program,
+                            const Instance& edb, const QueryEvent& event,
+                            const CancellationToken* cancel) {
+  datalog::ExactInflationaryOptions options;
+  options.max_nodes = request.max_nodes;
+  options.cancel = cancel;
+  size_t nodes = 0;
+  PFQL_ASSIGN_OR_RETURN(
+      BigRational p,
+      eval::ExactInflationary(program, edb, event, options, &nodes));
+  Json payload = Json::Object();
+  payload.Set("event", event.ToString());
+  SetProbability(p, &payload);
+  payload.Set("nodes", nodes);
+  return payload;
+}
+
+StatusOr<Json> ExecuteApprox(const Request& request,
+                             const datalog::Program& program,
+                             const Instance& edb, const QueryEvent& event,
+                             const CancellationToken* cancel) {
+  eval::ApproxParams params;
+  params.epsilon = request.epsilon;
+  params.delta = request.delta;
+  params.threads = request.threads;
+  params.cancel = cancel;
+  Rng rng(request.seed);
+  PFQL_ASSIGN_OR_RETURN(
+      eval::ApproxResult r,
+      eval::ApproxInflationary(program, edb, event, params, &rng));
+  Json payload = Json::Object();
+  payload.Set("event", event.ToString());
+  payload.Set("estimate", r.estimate);
+  payload.Set("samples", r.samples);
+  payload.Set("total_steps", r.total_steps);
+  payload.Set("epsilon", params.epsilon);
+  payload.Set("delta", params.delta);
+  return payload;
+}
+
+StatusOr<Json> ExecuteForever(const Request& request,
+                              const datalog::Program& program,
+                              const Instance& edb, const QueryEvent& event,
+                              const CancellationToken* cancel) {
+  PFQL_ASSIGN_OR_RETURN(datalog::TranslatedQuery tq,
+                        datalog::TranslateNonInflationary(program, edb));
+  StateSpaceOptions options;
+  options.max_states = request.max_states;
+  options.threads = request.threads;
+  options.cancel = cancel;
+  PFQL_ASSIGN_OR_RETURN(
+      eval::ExactForeverResult r,
+      eval::ExactForever({tq.kernel, event}, tq.initial, options));
+  Json payload = Json::Object();
+  payload.Set("event", event.ToString());
+  SetProbability(r.probability, &payload);
+  payload.Set("states", r.num_states);
+  payload.Set("components", r.num_components);
+  payload.Set("bottom_components", r.num_bottom);
+  payload.Set("irreducible", r.irreducible);
+  payload.Set("aperiodic", r.aperiodic);
+  return payload;
+}
+
+StatusOr<Json> ExecuteMcmc(const Request& request,
+                           const datalog::Program& program,
+                           const Instance& edb, const QueryEvent& event,
+                           const CancellationToken* cancel) {
+  PFQL_ASSIGN_OR_RETURN(datalog::TranslatedQuery tq,
+                        datalog::TranslateNonInflationary(program, edb));
+  eval::McmcParams params;
+  params.epsilon = request.epsilon;
+  params.delta = request.delta;
+  params.threads = request.threads;
+  params.cancel = cancel;
+  bool measured = false;
+  if (request.burn_in.has_value()) {
+    params.burn_in = *request.burn_in;
+  } else {
+    // "auto": measure the TV mixing time on the explicit chain. The
+    // measurement honours the same budget and deadline as the sampler.
+    StateSpaceOptions options;
+    options.max_states = request.max_states;
+    options.cancel = cancel;
+    PFQL_ASSIGN_OR_RETURN(
+        params.burn_in,
+        eval::MeasureMixingTimeTV(tq.kernel, tq.initial,
+                                  params.epsilon / 2, options));
+    measured = true;
+  }
+  Rng rng(request.seed);
+  PFQL_ASSIGN_OR_RETURN(
+      eval::McmcResult r,
+      eval::McmcForever({tq.kernel, event}, tq.initial, params, &rng));
+  Json payload = Json::Object();
+  payload.Set("event", event.ToString());
+  payload.Set("estimate", r.estimate);
+  payload.Set("samples", r.samples);
+  payload.Set("burn_in", params.burn_in);
+  payload.Set("burn_in_measured", measured);
+  payload.Set("total_steps", r.total_steps);
+  return payload;
+}
+
+StatusOr<Json> ExecutePartition(const Request& request,
+                                const datalog::Program& program,
+                                const Instance& edb, const QueryEvent& event,
+                                const CancellationToken* cancel) {
+  StateSpaceOptions options;
+  options.max_states = request.max_states;
+  options.threads = request.threads;
+  options.cancel = cancel;
+  PFQL_ASSIGN_OR_RETURN(
+      eval::PartitionedResult r,
+      eval::PartitionedExactForever(program, edb, event, options));
+  size_t states = 0;
+  for (size_t s : r.states_per_class) states += s;
+  Json payload = Json::Object();
+  payload.Set("event", event.ToString());
+  SetProbability(r.probability, &payload);
+  payload.Set("classes", r.num_classes);
+  payload.Set("states", states);
+  return payload;
+}
+
+StatusOr<Json> ExecuteTrajectory(const Request& request,
+                                 const datalog::Program& program,
+                                 const Instance& edb, const QueryEvent& event,
+                                 const CancellationToken* cancel) {
+  PFQL_ASSIGN_OR_RETURN(datalog::TranslatedQuery tq,
+                        datalog::TranslateNonInflationary(program, edb));
+  eval::TrajectoryParams params;
+  params.steps = request.steps;
+  params.runs = request.runs;
+  params.cancel = cancel;
+  Rng rng(request.seed);
+  PFQL_ASSIGN_OR_RETURN(
+      eval::TrajectoryResult r,
+      eval::TimeAverageEstimate({tq.kernel, event}, tq.initial, params,
+                                &rng));
+  Json payload = Json::Object();
+  payload.Set("event", event.ToString());
+  payload.Set("estimate", r.estimate);
+  payload.Set("runs", request.runs);
+  payload.Set("steps_per_run", request.steps);
+  payload.Set("total_steps", r.total_steps);
+  return payload;
+}
+
+}  // namespace
+
+StatusOr<Json> ExecuteQuery(const Request& request,
+                            const datalog::Program& program,
+                            const Instance& edb,
+                            const CancellationToken* cancel) {
+  if (cancel != nullptr) {
+    // A request that waited out its deadline in the admission queue fails
+    // here without touching an evaluator.
+    PFQL_RETURN_NOT_OK(cancel->Check());
+  }
+  if (request.kind == RequestKind::kRun) {
+    return ExecuteRun(request, program, edb);
+  }
+  PFQL_ASSIGN_OR_RETURN(QueryEvent event,
+                        datalog::ParseGroundAtom(request.event));
+  switch (request.kind) {
+    case RequestKind::kExact:
+      return ExecuteExact(request, program, edb, event, cancel);
+    case RequestKind::kApprox:
+      return ExecuteApprox(request, program, edb, event, cancel);
+    case RequestKind::kForever:
+      return ExecuteForever(request, program, edb, event, cancel);
+    case RequestKind::kMcmc:
+      return ExecuteMcmc(request, program, edb, event, cancel);
+    case RequestKind::kPartition:
+      return ExecutePartition(request, program, edb, event, cancel);
+    case RequestKind::kTrajectory:
+      return ExecuteTrajectory(request, program, edb, event, cancel);
+    default:
+      return Status::InvalidArgument(
+          std::string("method '") + RequestKindToString(request.kind) +
+          "' is not a query");
+  }
+}
+
+}  // namespace server
+}  // namespace pfql

@@ -1,0 +1,32 @@
+// Stateless execution of one query request against an already-resolved
+// program and input instance. This is the layer under QueryService's
+// registry/cache/pool and under the pfql CLI's --json mode: both produce
+// a Request, resolve program + data, and call ExecuteQuery. The returned
+// payload object is the "result" member of the wire response.
+#ifndef PFQL_SERVER_EXECUTOR_H_
+#define PFQL_SERVER_EXECUTOR_H_
+
+#include "datalog/program.h"
+#include "relational/instance.h"
+#include "server/wire.h"
+#include "util/cancellation.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace server {
+
+/// Runs one query-plane request (kRun..kTrajectory) to completion on the
+/// calling thread. `cancel` (nullable) is threaded into every evaluator
+/// loop, so deadlines and cancellation surface as structured
+/// DeadlineExceeded/Cancelled errors. Deterministic given the request
+/// (sampled kinds derive their RNG from request.seed).
+StatusOr<Json> ExecuteQuery(const Request& request,
+                            const datalog::Program& program,
+                            const Instance& edb,
+                            const CancellationToken* cancel);
+
+}  // namespace server
+}  // namespace pfql
+
+#endif  // PFQL_SERVER_EXECUTOR_H_

@@ -1,0 +1,382 @@
+#include "server/query_service.h"
+
+#include <functional>
+#include <future>
+#include <utility>
+
+#include "analysis/analyzer.h"
+#include "relational/text_io.h"
+#include "server/executor.h"
+
+namespace pfql {
+namespace server {
+
+namespace {
+
+int64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+uint64_t HashProgramText(const datalog::Program& program) {
+  // Hash the canonical (parsed, re-serialized) form, so formatting and
+  // comments do not fragment the cache.
+  return std::hash<std::string>{}(program.ToString());
+}
+
+}  // namespace
+
+QueryService::QueryService(const ServiceOptions& options)
+    : options_(options),
+      cache_(options.cache_entries),
+      pool_(options.workers, options.queue_capacity) {}
+
+QueryService::~QueryService() = default;
+
+Status QueryService::RegisterProgram(const std::string& name,
+                                     std::string_view source) {
+  if (name.empty()) return Status::InvalidArgument("empty program name");
+  analysis::DiagnosticSink sink;
+  std::optional<datalog::Program> program =
+      datalog::ParseProgram(source, &sink);
+  if (!program.has_value()) return sink.ToStatus();
+  // Pre-lint: warnings are recorded (and visible in `list`), not fatal.
+  analysis::AnalyzerOptions lint;
+  lint.emit_notes = false;
+  analysis::AnalyzeProgram(*program, lint, &sink);
+
+  ProgramEntry entry;
+  entry.hash = HashProgramText(*program);
+  entry.lint_warnings = sink.Count(analysis::Severity::kWarning);
+  entry.program =
+      std::make_shared<const datalog::Program>(*std::move(program));
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  programs_[name] = std::move(entry);
+  return Status::OK();
+}
+
+Status QueryService::RegisterInstance(const std::string& name,
+                                      Instance instance) {
+  if (name.empty()) return Status::InvalidArgument("empty instance name");
+  InstanceEntry entry;
+  entry.hash = instance.Hash();  // pre-warm the structural hash
+  entry.instance = std::make_shared<const Instance>(std::move(instance));
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  instances_[name] = std::move(entry);
+  return Status::OK();
+}
+
+std::vector<std::string> QueryService::ProgramNames() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(programs_.size());
+  for (const auto& [name, _] : programs_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> QueryService::InstanceNames() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  std::vector<std::string> names;
+  names.reserve(instances_.size());
+  for (const auto& [name, _] : instances_) names.push_back(name);
+  return names;
+}
+
+StatusOr<QueryService::ProgramEntry> QueryService::ResolveProgram(
+    const Request& request) const {
+  if (!request.program.empty()) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = programs_.find(request.program);
+    if (it == programs_.end()) {
+      return Status::NotFound("no registered program named '" +
+                              request.program + "'");
+    }
+    return it->second;
+  }
+  PFQL_ASSIGN_OR_RETURN(datalog::Program program,
+                        datalog::ParseProgram(request.program_text));
+  ProgramEntry entry;
+  entry.hash = HashProgramText(program);
+  entry.program =
+      std::make_shared<const datalog::Program>(std::move(program));
+  return entry;
+}
+
+StatusOr<QueryService::InstanceEntry> QueryService::ResolveInstance(
+    const Request& request) const {
+  if (!request.data.empty()) {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto it = instances_.find(request.data);
+    if (it == instances_.end()) {
+      return Status::NotFound("no registered instance named '" +
+                              request.data + "'");
+    }
+    return it->second;
+  }
+  // Inline data, or (when absent) the empty instance — programs whose EDB
+  // predicates all resolve empty are still meaningful.
+  Instance instance;
+  if (!request.data_text.empty()) {
+    PFQL_ASSIGN_OR_RETURN(instance, ParseInstanceText(request.data_text));
+  }
+  InstanceEntry entry;
+  entry.hash = instance.Hash();
+  entry.instance = std::make_shared<const Instance>(std::move(instance));
+  return entry;
+}
+
+Response QueryService::Call(const Request& request) {
+  if (!IsQueryKind(request.kind)) return HandleControl(request);
+
+  // Admission control: reject instead of queueing unboundedly. The
+  // promise/future pair keeps Call() synchronous while the work runs on a
+  // pool worker.
+  std::promise<Response> promise;
+  std::future<Response> future = promise.get_future();
+  const bool admitted = pool_.TrySubmit([this, &request, &promise] {
+    promise.set_value(ExecuteNow(request));
+  });
+  if (!admitted) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++rejected_;
+    }
+    return ErrorResponse(
+        request.id, RequestKindToString(request.kind),
+        Status::Unavailable(
+            "overloaded: admission queue full (" +
+            std::to_string(pool_.queue_capacity()) +
+            " waiting); retry later or raise --queue"));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++accepted_;
+  }
+  return future.get();
+}
+
+Response QueryService::CallLine(std::string_view line) {
+  auto request = ParseRequestLine(line);
+  if (!request.ok()) {
+    return ErrorResponse(Json(), "", request.status());
+  }
+  return Call(*request);
+}
+
+Response QueryService::ExecuteNow(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  Response response;
+  response.id = request.id;
+  response.method = RequestKindToString(request.kind);
+
+  auto fail = [&](Status status) {
+    response.status = std::move(status);
+    response.elapsed_us = ElapsedUs(start);
+    RecordOutcome(request, response);
+    return response;
+  };
+
+  auto program = ResolveProgram(request);
+  if (!program.ok()) return fail(program.status());
+  auto instance = ResolveInstance(request);
+  if (!instance.ok()) return fail(instance.status());
+
+  CacheKey key{program->hash, instance->hash,
+               RequestKindToString(request.kind), request.CacheParams()};
+  if (!request.no_cache) {
+    if (std::optional<Json> payload = cache_.Lookup(key)) {
+      response.result = *std::move(payload);
+      response.cached = true;
+      response.elapsed_us = ElapsedUs(start);
+      RecordOutcome(request, response);
+      return response;
+    }
+  }
+
+  // Deadline: per-request timeout, falling back to the service default.
+  const int64_t timeout_ms = request.timeout_ms > 0
+                                 ? request.timeout_ms
+                                 : options_.default_timeout_ms;
+  std::optional<CancellationToken> token;
+  if (timeout_ms > 0) {
+    token.emplace(std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms));
+  }
+
+  auto payload = ExecuteQuery(request, *program->program,
+                              *instance->instance,
+                              token.has_value() ? &*token : nullptr);
+  if (!payload.ok()) return fail(payload.status());
+  if (!request.no_cache) cache_.Insert(key, *payload);
+  response.result = *std::move(payload);
+  response.elapsed_us = ElapsedUs(start);
+  RecordOutcome(request, response);
+  return response;
+}
+
+void QueryService::RecordOutcome(const Request& request,
+                                 const Response& response) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  KindCounters& counters =
+      kind_counters_[RequestKindToString(request.kind)];
+  ++counters.count;
+  if (!response.status.ok()) ++counters.errors;
+  if (response.cached) ++counters.cache_hits;
+  const uint64_t us = static_cast<uint64_t>(response.elapsed_us);
+  counters.total_us += us;
+  if (us > counters.max_us) counters.max_us = us;
+}
+
+Response QueryService::HandleControl(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  Response response;
+  response.id = request.id;
+  response.method = RequestKindToString(request.kind);
+
+  switch (request.kind) {
+    case RequestKind::kPing: {
+      Json payload = Json::Object();
+      payload.Set("pong", true);
+      response.result = std::move(payload);
+      break;
+    }
+    case RequestKind::kStats:
+      response.result = StatsJson();
+      break;
+    case RequestKind::kList: {
+      Json payload = Json::Object();
+      Json programs = Json::Array();
+      {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        for (const auto& [name, entry] : programs_) {
+          Json item = Json::Object();
+          item.Set("name", name);
+          item.Set("hash", std::to_string(entry.hash));
+          item.Set("lint_warnings", entry.lint_warnings);
+          programs.Append(std::move(item));
+        }
+      }
+      payload.Set("programs", std::move(programs));
+      Json instances = Json::Array();
+      {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        for (const auto& [name, entry] : instances_) {
+          Json item = Json::Object();
+          item.Set("name", name);
+          item.Set("hash", std::to_string(entry.hash));
+          item.Set("relations", entry.instance->relation_count());
+          item.Set("tuples", entry.instance->TotalTuples());
+          instances.Append(std::move(item));
+        }
+      }
+      payload.Set("instances", std::move(instances));
+      response.result = std::move(payload);
+      break;
+    }
+    case RequestKind::kRegisterProgram: {
+      Status status = RegisterProgram(request.name, request.program_text);
+      if (!status.ok()) {
+        response.status = std::move(status);
+        break;
+      }
+      Json payload = Json::Object();
+      payload.Set("name", request.name);
+      {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        const ProgramEntry& entry = programs_.at(request.name);
+        payload.Set("hash", std::to_string(entry.hash));
+        payload.Set("lint_warnings", entry.lint_warnings);
+      }
+      response.result = std::move(payload);
+      break;
+    }
+    case RequestKind::kRegisterInstance: {
+      auto instance = ParseInstanceText(request.data_text);
+      if (!instance.ok()) {
+        response.status = instance.status();
+        break;
+      }
+      const size_t relations = instance->relation_count();
+      const size_t tuples = instance->TotalTuples();
+      Status status =
+          RegisterInstance(request.name, *std::move(instance));
+      if (!status.ok()) {
+        response.status = std::move(status);
+        break;
+      }
+      Json payload = Json::Object();
+      payload.Set("name", request.name);
+      {
+        std::lock_guard<std::mutex> lock(registry_mu_);
+        payload.Set("hash", std::to_string(instances_.at(request.name).hash));
+      }
+      payload.Set("relations", relations);
+      payload.Set("tuples", tuples);
+      response.result = std::move(payload);
+      break;
+    }
+    default:
+      response.status = Status::Internal("unroutable control request");
+      break;
+  }
+  response.elapsed_us = ElapsedUs(start);
+  return response;
+}
+
+Json QueryService::StatsJson() const {
+  Json out = Json::Object();
+  out.Set("uptime_us", ElapsedUs(started_));
+
+  Json pool = Json::Object();
+  pool.Set("workers", pool_.worker_count());
+  pool.Set("queue_capacity", pool_.queue_capacity());
+  pool.Set("queue_depth", pool_.QueueDepth());
+  pool.Set("active", pool_.ActiveCount());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    pool.Set("accepted", accepted_);
+    pool.Set("rejected", rejected_);
+  }
+  out.Set("pool", std::move(pool));
+
+  const ResultCache::Stats cache_stats = cache_.GetStats();
+  Json cache = Json::Object();
+  cache.Set("capacity", cache_stats.capacity);
+  cache.Set("entries", cache_stats.entries);
+  cache.Set("hits", cache_stats.hits);
+  cache.Set("misses", cache_stats.misses);
+  cache.Set("evictions", cache_stats.evictions);
+  cache.Set("hit_rate", cache_stats.HitRate());
+  cache.Set("entries_detail", cache_.Snapshot());
+  out.Set("cache", std::move(cache));
+
+  Json kinds = Json::Object();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const auto& [name, counters] : kind_counters_) {
+      Json item = Json::Object();
+      item.Set("count", counters.count);
+      item.Set("errors", counters.errors);
+      item.Set("cache_hits", counters.cache_hits);
+      item.Set("total_us", counters.total_us);
+      item.Set("max_us", counters.max_us);
+      item.Set("mean_us", counters.count == 0
+                              ? 0.0
+                              : static_cast<double>(counters.total_us) /
+                                    static_cast<double>(counters.count));
+      kinds.Set(name, std::move(item));
+    }
+  }
+  out.Set("kinds", std::move(kinds));
+
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    out.Set("programs", programs_.size());
+    out.Set("instances", instances_.size());
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace pfql

@@ -1,0 +1,127 @@
+// The embeddable query service behind pfqld: a registry of named,
+// pre-parsed and pre-linted programs and loaded instances; a fixed-size
+// worker pool behind a bounded admission queue (full queue = structured
+// "overloaded" error, not unbounded latency); per-request deadlines
+// threaded into every evaluator as a cooperative cancellation token; and
+// an LRU result cache keyed on (program hash, instance structural hash,
+// query kind, params). Fully testable in-process — the TCP layer
+// (tcp_server.h) is a thin line-framing shim over Call().
+#ifndef PFQL_SERVER_QUERY_SERVICE_H_
+#define PFQL_SERVER_QUERY_SERVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "datalog/program.h"
+#include "relational/instance.h"
+#include "server/result_cache.h"
+#include "server/wire.h"
+#include "util/thread_pool.h"
+
+namespace pfql {
+namespace server {
+
+struct ServiceOptions {
+  /// Query-plane worker threads.
+  size_t workers = 4;
+  /// Bounded admission queue: requests beyond this many waiting are
+  /// rejected with kUnavailable ("overloaded").
+  size_t queue_capacity = 16;
+  /// Result-cache capacity in entries (0 disables caching).
+  size_t cache_entries = 256;
+  /// Deadline applied to requests that carry no timeout_ms; 0 = none.
+  int64_t default_timeout_ms = 0;
+};
+
+class QueryService {
+ public:
+  explicit QueryService(const ServiceOptions& options = {});
+  /// Drains the worker pool (in-flight requests finish first).
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Parses, validates, and lints `source`, storing it under `name`
+  /// (replacing any previous program of that name; in-flight requests
+  /// keep the version they resolved). Fails on parse/validation errors;
+  /// lint warnings are counted, not fatal.
+  Status RegisterProgram(const std::string& name, std::string_view source);
+  /// Stores a loaded instance under `name` (replacing any previous one).
+  /// The structural hash is computed up front.
+  Status RegisterInstance(const std::string& name, Instance instance);
+
+  std::vector<std::string> ProgramNames() const;
+  std::vector<std::string> InstanceNames() const;
+
+  /// Serves one request. Control-plane kinds (ping/stats/list/register_*)
+  /// run inline on the calling thread; query kinds go through admission
+  /// control onto the worker pool and this call blocks until the result
+  /// is ready (or returns the kUnavailable rejection immediately).
+  Response Call(const Request& request);
+
+  /// Parses one NDJSON request line and serves it. Parse failures come
+  /// back as error responses (never a Status), so the wire loop always
+  /// has one response line per request line.
+  Response CallLine(std::string_view line);
+
+  /// The `stats` payload: queue/pool gauges, per-kind latency counters,
+  /// cache hit rates, and registry names.
+  Json StatsJson() const;
+
+ private:
+  struct ProgramEntry {
+    std::shared_ptr<const datalog::Program> program;
+    uint64_t hash = 0;
+    size_t lint_warnings = 0;
+  };
+  struct InstanceEntry {
+    std::shared_ptr<const Instance> instance;
+    uint64_t hash = 0;
+  };
+  /// Monotonic per-kind counters (latencies in microseconds).
+  struct KindCounters {
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    uint64_t cache_hits = 0;
+    uint64_t total_us = 0;
+    uint64_t max_us = 0;
+  };
+
+  /// Control-plane dispatch (calling thread).
+  Response HandleControl(const Request& request);
+  /// Full query-plane execution (worker thread): resolve, cache, execute.
+  Response ExecuteNow(const Request& request);
+  StatusOr<ProgramEntry> ResolveProgram(const Request& request) const;
+  StatusOr<InstanceEntry> ResolveInstance(const Request& request) const;
+  void RecordOutcome(const Request& request, const Response& response);
+
+  const ServiceOptions options_;
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+
+  mutable std::mutex registry_mu_;
+  std::map<std::string, ProgramEntry> programs_;
+  std::map<std::string, InstanceEntry> instances_;
+
+  ResultCache cache_;
+
+  mutable std::mutex stats_mu_;
+  std::map<std::string, KindCounters> kind_counters_;
+  uint64_t accepted_ = 0;
+  uint64_t rejected_ = 0;
+
+  // Declared last so workers stop before the state they use is destroyed.
+  ThreadPool pool_;
+};
+
+}  // namespace server
+}  // namespace pfql
+
+#endif  // PFQL_SERVER_QUERY_SERVICE_H_

@@ -1,0 +1,83 @@
+#include "server/result_cache.h"
+
+#include <functional>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace pfql {
+namespace server {
+
+size_t CacheKeyHash::operator()(const CacheKey& key) const {
+  size_t seed = static_cast<size_t>(key.program_hash);
+  HashCombine(&seed, static_cast<size_t>(key.instance_hash));
+  HashCombine(&seed, std::hash<std::string>{}(key.kind));
+  HashCombine(&seed, std::hash<std::string>{}(key.params));
+  return seed;
+}
+
+ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
+
+std::optional<Json> ResultCache::Lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  ++it->second->hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->payload;
+}
+
+void ResultCache::Insert(const CacheKey& key, Json payload) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->payload = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front(Entry{key, std::move(payload), 0});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+ResultCache::Stats ResultCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.entries = lru_.size();
+  stats.evictions = evictions_;
+  stats.capacity = capacity_;
+  return stats;
+}
+
+Json ResultCache::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::Array();
+  for (const Entry& entry : lru_) {
+    Json item = Json::Object();
+    item.Set("kind", entry.key.kind);
+    item.Set("params", entry.key.params);
+    item.Set("hits", entry.hits);
+    out.Append(std::move(item));
+  }
+  return out;
+}
+
+}  // namespace server
+}  // namespace pfql

@@ -1,0 +1,96 @@
+// LRU result cache for the query service. Keys combine the canonical
+// program hash, the Instance structural hash (cached on the instance since
+// PR 1), the query kind, and the value-affecting parameters — so a result
+// is reusable across sessions, registration names, and clients whenever
+// the math is literally the same. Values are the wire-format payload
+// objects. Thread-safe; per-entry and global hit/miss counters feed the
+// `stats` request.
+#ifndef PFQL_SERVER_RESULT_CACHE_H_
+#define PFQL_SERVER_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "util/json.h"
+
+namespace pfql {
+namespace server {
+
+/// Identity of a cacheable evaluation.
+struct CacheKey {
+  uint64_t program_hash = 0;   ///< hash of the canonical program text
+  uint64_t instance_hash = 0;  ///< Instance::Hash() of the input EDB
+  std::string kind;            ///< request method name
+  std::string params;          ///< Request::CacheParams() fingerprint
+
+  bool operator==(const CacheKey& other) const {
+    return program_hash == other.program_hash &&
+           instance_hash == other.instance_hash && kind == other.kind &&
+           params == other.params;
+  }
+};
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey& key) const;
+};
+
+class ResultCache {
+ public:
+  /// Capacity 0 disables caching (every Lookup misses, Insert drops).
+  explicit ResultCache(size_t capacity);
+
+  /// Returns the cached payload and bumps the entry to most-recent, or
+  /// nullopt on a miss. Counts toward hit/miss stats either way.
+  std::optional<Json> Lookup(const CacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used
+  /// entry beyond capacity.
+  void Insert(const CacheKey& key, Json payload);
+
+  /// Drops every entry (counters survive).
+  void Clear();
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t entries = 0;
+    size_t evictions = 0;
+    size_t capacity = 0;
+    double HitRate() const {
+      const size_t total = hits + misses;
+      return total == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(total);
+    }
+  };
+  Stats GetStats() const;
+
+  /// Per-entry view for the stats request: an array (most-recent first) of
+  /// {"kind", "params", "hits"} objects.
+  Json Snapshot() const;
+
+ private:
+  struct Entry {
+    CacheKey key;
+    Json payload;
+    size_t hits = 0;
+  };
+
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash>
+      index_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t evictions_ = 0;
+};
+
+}  // namespace server
+}  // namespace pfql
+
+#endif  // PFQL_SERVER_RESULT_CACHE_H_

@@ -1,0 +1,73 @@
+// Loopback NDJSON TCP front-end for a QueryService: accepts connections on
+// 127.0.0.1, reads one JSON request per line, writes one JSON response per
+// line, in order. Framing and concurrency only — all semantics (admission
+// control, deadlines, caching) live in QueryService, which is why every
+// behavior is testable without sockets.
+#ifndef PFQL_SERVER_TCP_SERVER_H_
+#define PFQL_SERVER_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "server/query_service.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace server {
+
+struct TcpServerOptions {
+  /// Port to bind on 127.0.0.1; 0 picks an ephemeral port (read it back
+  /// from port() after Start — the integration tests rely on this).
+  uint16_t port = 0;
+  int backlog = 64;
+  /// Hard per-line limit; longer requests get an error response and the
+  /// connection is closed (defends the daemon against garbage input).
+  size_t max_line_bytes = 4u << 20;
+};
+
+class TcpServer {
+ public:
+  /// `service` must outlive the server.
+  TcpServer(QueryService* service, const TcpServerOptions& options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens, and spawns the accept loop.
+  Status Start();
+  /// Stops accepting, shuts down live connections, joins every thread.
+  /// Idempotent.
+  void Stop();
+
+  /// The bound port (valid after a successful Start).
+  uint16_t port() const { return port_; }
+  /// Connections accepted over the server's lifetime.
+  size_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  QueryService* const service_;
+  const TcpServerOptions options_;
+  uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> connections_accepted_{0};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+}  // namespace server
+}  // namespace pfql
+
+#endif  // PFQL_SERVER_TCP_SERVER_H_

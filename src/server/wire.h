@@ -1,0 +1,120 @@
+// Wire protocol of the pfql query service: newline-delimited JSON request
+// and response objects. One request per line, one response line per
+// request, in order. The same structs and serializers back the pfqld TCP
+// daemon, the in-process QueryService API, and `pfql --json` CLI output,
+// so every surface speaks an identical schema (documented in
+// docs/SERVER.md).
+#ifndef PFQL_SERVER_WIRE_H_
+#define PFQL_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace pfql {
+namespace server {
+
+/// Everything a client can ask for. Query kinds run on the worker pool and
+/// are subject to admission control; control kinds are served inline.
+enum class RequestKind {
+  // Control plane.
+  kPing,
+  kStats,
+  kList,
+  kRegisterProgram,
+  kRegisterInstance,
+  // Query plane (the paper's algorithm suite).
+  kRun,        ///< one sampled fixpoint computation (Sec 3.3 engine)
+  kExact,      ///< exact inflationary probability (Prop 4.4)
+  kApprox,     ///< Monte Carlo inflationary estimate (Thm 4.3)
+  kForever,    ///< exact noninflationary / long-run probability (Thm 5.5)
+  kMcmc,       ///< MCMC noninflationary estimate (Thm 5.6)
+  kPartition,  ///< partitioned exact forever evaluation (Sec 5.1)
+  kTrajectory, ///< Def 3.2 time-average estimate (assumption-free sampler)
+};
+
+const char* RequestKindToString(RequestKind kind);
+StatusOr<RequestKind> RequestKindFromString(std::string_view name);
+/// True for the kinds executed on the worker pool (kRun..kTrajectory).
+bool IsQueryKind(RequestKind kind);
+
+/// A parsed request. Field applicability by kind is documented in
+/// docs/SERVER.md; ParseRequest validates the combination.
+struct Request {
+  /// Echoed verbatim into the response (any JSON value; null if absent).
+  Json id;
+  RequestKind kind = RequestKind::kPing;
+
+  /// Program: a registered name xor inline source text.
+  std::string program;
+  std::string program_text;
+  /// Input instance: a registered name xor inline text-format data.
+  std::string data;
+  std::string data_text;
+  /// Query event, as a ground atom such as "cur(3)".
+  std::string event;
+  /// Registration name (register_program / register_instance).
+  std::string name;
+
+  // Evaluation parameters (defaults mirror the pfql CLI).
+  double epsilon = 0.05;
+  double delta = 0.05;
+  uint64_t seed = 42;
+  size_t max_states = 1 << 14;
+  size_t max_nodes = 1 << 22;
+  /// MCMC burn-in; nullopt = measure the TV mixing time ("auto").
+  std::optional<size_t> burn_in;
+  /// Trajectory sampler shape.
+  size_t steps = 1000;
+  size_t runs = 16;
+  /// Worker threads inside one evaluation (part of the cache key: the
+  /// sample-to-stream assignment of sampled kinds depends on it).
+  size_t threads = 1;
+  /// Per-request deadline in milliseconds; 0 = none (service default).
+  int64_t timeout_ms = 0;
+  /// Bypass the result cache for this request.
+  bool no_cache = false;
+
+  /// Canonical parameter fingerprint for the result cache: every field
+  /// that affects the result value for this kind (event, budgets, seed for
+  /// sampled kinds, ...) — and nothing that does not (deadline, id).
+  std::string CacheParams() const;
+};
+
+/// Parses one request object; TypeError/InvalidArgument on a malformed or
+/// inconsistent request (unknown method, missing event, ...).
+StatusOr<Request> ParseRequest(const Json& json);
+/// Parses one NDJSON line.
+StatusOr<Request> ParseRequestLine(std::string_view line);
+
+/// A response: either an error status or a result payload object.
+struct Response {
+  Json id;
+  /// Echoed request method name (empty when the request never parsed).
+  std::string method;
+  Status status;
+  /// Result object; meaningful iff status.ok().
+  Json result;
+  bool cached = false;
+  int64_t elapsed_us = 0;
+};
+
+/// Builds the response object:
+///   {"id":..., "ok":true,  "method":..., "cached":..., "elapsed_us":...,
+///    "result":{...}}
+///   {"id":..., "ok":false, "method":..., "error":{"code":..., "message":...}}
+Json ResponseToJson(const Response& response);
+/// One-line serialization (no trailing newline).
+std::string SerializeResponse(const Response& response);
+
+/// Error-response convenience.
+Response ErrorResponse(Json id, std::string method, Status status);
+
+}  // namespace server
+}  // namespace pfql
+
+#endif  // PFQL_SERVER_WIRE_H_

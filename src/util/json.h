@@ -1,0 +1,119 @@
+// Minimal JSON document model with a strict parser and a deterministic
+// serializer — the substrate of the pfqld wire protocol (wire.h) and the
+// CLI's --json output. Objects preserve insertion order so serialized
+// responses are stable and diffable; numbers distinguish integers from
+// doubles so counters round-trip exactly.
+#ifndef PFQL_UTIL_JSON_H_
+#define PFQL_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pfql {
+
+/// One JSON value. Cheap default construction (null); value semantics.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}                // NOLINT
+  Json(int64_t i) : type_(Type::kInt), int_(i) {}               // NOLINT
+  Json(int i) : type_(Type::kInt), int_(i) {}                   // NOLINT
+  Json(size_t u) : type_(Type::kInt), int_(static_cast<int64_t>(u)) {}  // NOLINT
+  Json(double d) : type_(Type::kDouble), double_(d) {}          // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}     // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; the caller must have checked the type.
+  bool AsBool() const { return bool_; }
+  int64_t AsInt() const {
+    return type_ == Type::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double AsDouble() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const { return string_; }
+
+  /// Array access.
+  const std::vector<Json>& items() const { return items_; }
+  void Append(Json value) { items_.push_back(std::move(value)); }
+  size_t size() const {
+    return type_ == Type::kObject ? members_.size() : items_.size();
+  }
+
+  /// Object access: insertion-ordered members, linear lookup (objects in
+  /// this codebase carry a handful of keys).
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  /// Sets (replacing an existing key) and returns *this for chaining.
+  Json& Set(std::string_view key, Json value);
+  /// Member pointer, or nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  /// Convenience typed lookups used by request parsing: value when present
+  /// and of matching type, `fallback` when absent, error on a type clash.
+  StatusOr<std::string> GetString(std::string_view key,
+                                  std::string_view fallback) const;
+  StatusOr<int64_t> GetInt(std::string_view key, int64_t fallback) const;
+  StatusOr<double> GetDouble(std::string_view key, double fallback) const;
+  StatusOr<bool> GetBool(std::string_view key, bool fallback) const;
+
+  /// Compact one-line serialization (keys in insertion order, no spaces —
+  /// suitable for the newline-delimited wire protocol).
+  std::string Dump() const;
+  /// Pretty serialization with 2-space indentation per level.
+  std::string DumpPretty() const;
+
+  /// Strict parser: one JSON value, trailing whitespace allowed, anything
+  /// else is a ParseError with an offset in the message.
+  static StatusOr<Json> Parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+  bool operator!=(const Json& other) const { return !(*this == other); }
+
+ private:
+  void DumpInto(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Appends `text` to `out` with JSON string escaping (quotes not added).
+void JsonEscape(std::string_view text, std::string* out);
+
+}  // namespace pfql
+
+#endif  // PFQL_UTIL_JSON_H_

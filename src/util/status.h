@@ -25,6 +25,9 @@ enum class StatusCode {
   kParseError,        ///< Datalog / expression text failed to parse.
   kTypeError,         ///< Schema or value type mismatch.
   kInternal,          ///< Invariant violation; indicates a library bug.
+  kCancelled,         ///< The operation was cancelled by the caller.
+  kDeadlineExceeded,  ///< The operation's deadline passed before it finished.
+  kUnavailable,       ///< The service cannot take the request now (overload).
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -69,6 +72,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,72 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pfql {
+
+ThreadPool::ThreadPool(size_t workers, size_t queue_capacity)
+    : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
+  const size_t n = std::max<size_t>(1, workers);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ || queue_.size() >= queue_capacity_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t ThreadPool::ActiveCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace pfql

@@ -1,0 +1,59 @@
+// A fixed-size worker pool with a bounded task queue — the execution
+// substrate of the query service's admission control. TrySubmit never
+// blocks: when the queue is at capacity it refuses the task, and the
+// caller turns that refusal into a structured "overloaded" error instead
+// of letting latency pile up invisibly (load shedding at the front door).
+#ifndef PFQL_UTIL_THREAD_POOL_H_
+#define PFQL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pfql {
+
+class ThreadPool {
+ public:
+  /// Starts `workers` threads (at least 1). The queue holds at most
+  /// `queue_capacity` tasks not yet picked up by a worker.
+  ThreadPool(size_t workers, size_t queue_capacity);
+  /// Drains: refuses new work, waits for queued + running tasks.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` unless the queue is full or the pool is shutting
+  /// down; returns whether the task was accepted.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Tasks accepted but not yet started (admission-queue depth).
+  size_t QueueDepth() const;
+  /// Tasks currently executing on a worker.
+  size_t ActiveCount() const;
+  size_t worker_count() const { return threads_.size(); }
+  size_t queue_capacity() const { return queue_capacity_; }
+
+  /// Blocks until the queue is empty and all workers are idle (test aid).
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace pfql
+
+#endif  // PFQL_UTIL_THREAD_POOL_H_

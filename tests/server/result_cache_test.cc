@@ -1,0 +1,105 @@
+#include "server/result_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace pfql {
+namespace server {
+namespace {
+
+CacheKey Key(uint64_t program, uint64_t instance, const char* kind = "exact",
+             const char* params = "event=e(1);threads=1") {
+  return CacheKey{program, instance, kind, params};
+}
+
+Json Payload(int value) {
+  Json payload = Json::Object();
+  payload.Set("value", value);
+  return payload;
+}
+
+TEST(ResultCacheTest, MissThenHit) {
+  ResultCache cache(4);
+  EXPECT_FALSE(cache.Lookup(Key(1, 1)).has_value());
+  cache.Insert(Key(1, 1), Payload(7));
+  auto hit = cache.Lookup(Key(1, 1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->Find("value")->AsInt(), 7);
+
+  const ResultCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(ResultCacheTest, EveryKeyFieldDistinguishes) {
+  ResultCache cache(16);
+  cache.Insert(Key(1, 1, "exact", "p"), Payload(0));
+  EXPECT_FALSE(cache.Lookup(Key(2, 1, "exact", "p")).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(1, 2, "exact", "p")).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(1, 1, "approx", "p")).has_value());
+  EXPECT_FALSE(cache.Lookup(Key(1, 1, "exact", "q")).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(1, 1, "exact", "p")).has_value());
+}
+
+TEST(ResultCacheTest, LruEvictionOrder) {
+  ResultCache cache(2);
+  cache.Insert(Key(1, 0), Payload(1));
+  cache.Insert(Key(2, 0), Payload(2));
+  // Touch key 1 so key 2 becomes least-recently-used.
+  EXPECT_TRUE(cache.Lookup(Key(1, 0)).has_value());
+  cache.Insert(Key(3, 0), Payload(3));
+  EXPECT_FALSE(cache.Lookup(Key(2, 0)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(1, 0)).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(3, 0)).has_value());
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 2u);
+}
+
+TEST(ResultCacheTest, InsertRefreshesExistingEntry) {
+  ResultCache cache(4);
+  cache.Insert(Key(1, 1), Payload(1));
+  cache.Insert(Key(1, 1), Payload(2));
+  EXPECT_EQ(cache.GetStats().entries, 1u);
+  auto hit = cache.Lookup(Key(1, 1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->Find("value")->AsInt(), 2);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Insert(Key(1, 1), Payload(1));
+  EXPECT_FALSE(cache.Lookup(Key(1, 1)).has_value());
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+TEST(ResultCacheTest, ClearDropsEntriesButKeepsCounters) {
+  ResultCache cache(4);
+  cache.Insert(Key(1, 1), Payload(1));
+  EXPECT_TRUE(cache.Lookup(Key(1, 1)).has_value());
+  cache.Clear();
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_EQ(cache.GetStats().hits, 1u);
+  EXPECT_FALSE(cache.Lookup(Key(1, 1)).has_value());
+}
+
+TEST(ResultCacheTest, SnapshotReportsPerEntryHits) {
+  ResultCache cache(4);
+  cache.Insert(Key(1, 1, "exact", "a"), Payload(1));
+  cache.Insert(Key(2, 2, "forever", "b"), Payload(2));
+  EXPECT_TRUE(cache.Lookup(Key(1, 1, "exact", "a")).has_value());
+  EXPECT_TRUE(cache.Lookup(Key(1, 1, "exact", "a")).has_value());
+
+  const Json snapshot = cache.Snapshot();
+  ASSERT_TRUE(snapshot.is_array());
+  ASSERT_EQ(snapshot.items().size(), 2u);
+  // Most-recent first: the twice-hit exact entry leads.
+  EXPECT_EQ(snapshot.items()[0].Find("kind")->AsString(), "exact");
+  EXPECT_EQ(snapshot.items()[0].Find("hits")->AsInt(), 2);
+  EXPECT_EQ(snapshot.items()[1].Find("kind")->AsString(), "forever");
+  EXPECT_EQ(snapshot.items()[1].Find("hits")->AsInt(), 0);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace pfql

@@ -1,0 +1,210 @@
+#include "server/wire.h"
+
+#include <gtest/gtest.h>
+
+namespace pfql {
+namespace server {
+namespace {
+
+TEST(WireTest, KindStringsRoundTrip) {
+  for (RequestKind kind :
+       {RequestKind::kPing, RequestKind::kStats, RequestKind::kList,
+        RequestKind::kRegisterProgram, RequestKind::kRegisterInstance,
+        RequestKind::kRun, RequestKind::kExact, RequestKind::kApprox,
+        RequestKind::kForever, RequestKind::kMcmc, RequestKind::kPartition,
+        RequestKind::kTrajectory}) {
+    auto parsed = RequestKindFromString(RequestKindToString(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(RequestKindFromString("nope").ok());
+}
+
+TEST(WireTest, QueryKindClassification) {
+  EXPECT_TRUE(IsQueryKind(RequestKind::kExact));
+  EXPECT_TRUE(IsQueryKind(RequestKind::kRun));
+  EXPECT_FALSE(IsQueryKind(RequestKind::kPing));
+  EXPECT_FALSE(IsQueryKind(RequestKind::kRegisterProgram));
+}
+
+TEST(WireTest, ParsesMinimalPing) {
+  auto request = ParseRequestLine("{\"method\":\"ping\"}");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->kind, RequestKind::kPing);
+  EXPECT_TRUE(request->id.is_null());
+}
+
+TEST(WireTest, ParsesQueryWithDefaults) {
+  auto request = ParseRequestLine(
+      "{\"id\":7,\"method\":\"exact\",\"program_text\":\"p(0).\","
+      "\"event\":\"p(0)\"}");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->kind, RequestKind::kExact);
+  EXPECT_EQ(request->id.AsInt(), 7);
+  EXPECT_EQ(request->program_text, "p(0).");
+  EXPECT_EQ(request->event, "p(0)");
+  EXPECT_DOUBLE_EQ(request->epsilon, 0.05);
+  EXPECT_DOUBLE_EQ(request->delta, 0.05);
+  EXPECT_EQ(request->seed, 42u);
+  EXPECT_EQ(request->threads, 1u);
+  EXPECT_EQ(request->timeout_ms, 0);
+  EXPECT_FALSE(request->no_cache);
+  EXPECT_FALSE(request->burn_in.has_value());
+}
+
+TEST(WireTest, BurnInAcceptsNumberAndAuto) {
+  auto numeric = ParseRequestLine(
+      "{\"method\":\"mcmc\",\"program_text\":\"p.\",\"event\":\"p(0)\","
+      "\"burn_in\":16}");
+  ASSERT_TRUE(numeric.ok());
+  ASSERT_TRUE(numeric->burn_in.has_value());
+  EXPECT_EQ(*numeric->burn_in, 16u);
+
+  auto auto_burn = ParseRequestLine(
+      "{\"method\":\"mcmc\",\"program_text\":\"p.\",\"event\":\"p(0)\","
+      "\"burn_in\":\"auto\"}");
+  ASSERT_TRUE(auto_burn.ok());
+  EXPECT_FALSE(auto_burn->burn_in.has_value());
+
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"mcmc\",\"program_text\":\"p.\","
+                   "\"event\":\"p(0)\",\"burn_in\":-1}")
+                   .ok());
+}
+
+TEST(WireTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequestLine("not json").ok());
+  EXPECT_FALSE(ParseRequestLine("[1,2]").ok());
+  EXPECT_FALSE(ParseRequestLine("{}").ok());
+  EXPECT_FALSE(ParseRequestLine("{\"method\":\"warp\"}").ok());
+  // Query kinds need exactly one program source.
+  EXPECT_FALSE(
+      ParseRequestLine("{\"method\":\"exact\",\"event\":\"p(0)\"}").ok());
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"exact\",\"program\":\"a\","
+                   "\"program_text\":\"p.\",\"event\":\"p(0)\"}")
+                   .ok());
+  // data and data_text are mutually exclusive.
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"exact\",\"program\":\"a\",\"data\":\"d\","
+                   "\"data_text\":\"x\",\"event\":\"p(0)\"}")
+                   .ok());
+  // Non-run query kinds need an event.
+  EXPECT_FALSE(
+      ParseRequestLine("{\"method\":\"exact\",\"program\":\"a\"}").ok());
+  // run does not.
+  EXPECT_TRUE(
+      ParseRequestLine("{\"method\":\"run\",\"program\":\"a\"}").ok());
+  // Budgets must be positive, timeouts non-negative.
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"exact\",\"program\":\"a\","
+                   "\"event\":\"p(0)\",\"max_nodes\":0}")
+                   .ok());
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"exact\",\"program\":\"a\","
+                   "\"event\":\"p(0)\",\"timeout_ms\":-5}")
+                   .ok());
+  // Registrations need their payloads.
+  EXPECT_FALSE(ParseRequestLine("{\"method\":\"register_program\"}").ok());
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"register_instance\",\"name\":\"d\"}")
+                   .ok());
+}
+
+Request QueryRequest(RequestKind kind) {
+  Request request;
+  request.kind = kind;
+  request.event = "p(0)";
+  return request;
+}
+
+TEST(WireTest, CacheParamsIgnoresSeedForExactKinds) {
+  Request a = QueryRequest(RequestKind::kExact);
+  Request b = QueryRequest(RequestKind::kExact);
+  b.seed = 99;
+  EXPECT_EQ(a.CacheParams(), b.CacheParams());
+
+  Request c = QueryRequest(RequestKind::kForever);
+  Request d = QueryRequest(RequestKind::kForever);
+  d.seed = 99;
+  EXPECT_EQ(c.CacheParams(), d.CacheParams());
+}
+
+TEST(WireTest, CacheParamsKeysSeedForSampledKinds) {
+  for (RequestKind kind : {RequestKind::kRun, RequestKind::kApprox,
+                           RequestKind::kMcmc, RequestKind::kTrajectory}) {
+    Request a = QueryRequest(kind);
+    Request b = QueryRequest(kind);
+    b.seed = 99;
+    EXPECT_NE(a.CacheParams(), b.CacheParams())
+        << RequestKindToString(kind);
+  }
+}
+
+TEST(WireTest, CacheParamsKeysValueAffectingBudgets) {
+  Request a = QueryRequest(RequestKind::kForever);
+  Request b = QueryRequest(RequestKind::kForever);
+  b.max_states = a.max_states * 2;
+  EXPECT_NE(a.CacheParams(), b.CacheParams());
+
+  Request c = QueryRequest(RequestKind::kExact);
+  Request d = QueryRequest(RequestKind::kExact);
+  d.threads = 8;
+  EXPECT_NE(c.CacheParams(), d.CacheParams());
+}
+
+TEST(WireTest, CacheParamsIgnoresDeadline) {
+  Request a = QueryRequest(RequestKind::kExact);
+  Request b = QueryRequest(RequestKind::kExact);
+  b.timeout_ms = 5000;
+  b.no_cache = false;
+  EXPECT_EQ(a.CacheParams(), b.CacheParams());
+}
+
+TEST(WireTest, OkResponseSerialization) {
+  Response response;
+  response.id = 3;
+  response.method = "exact";
+  Json result = Json::Object();
+  result.Set("probability", "1/2");
+  response.result = std::move(result);
+  response.cached = true;
+  response.elapsed_us = 1234;
+
+  auto parsed = Json::Parse(SerializeResponse(response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("id")->AsInt(), 3);
+  EXPECT_TRUE(parsed->Find("ok")->AsBool());
+  EXPECT_EQ(parsed->Find("method")->AsString(), "exact");
+  EXPECT_TRUE(parsed->Find("cached")->AsBool());
+  EXPECT_EQ(parsed->Find("elapsed_us")->AsInt(), 1234);
+  EXPECT_EQ(parsed->Find("result")->Find("probability")->AsString(), "1/2");
+}
+
+TEST(WireTest, ErrorResponseSerialization) {
+  Response response = ErrorResponse(
+      Json("req-9"), "forever", Status::DeadlineExceeded("too slow"));
+  auto parsed = Json::Parse(SerializeResponse(response));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("id")->AsString(), "req-9");
+  EXPECT_FALSE(parsed->Find("ok")->AsBool());
+  const Json* error = parsed->Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->AsString(), "DeadlineExceeded");
+  EXPECT_EQ(error->Find("message")->AsString(), "too slow");
+  EXPECT_EQ(parsed->Find("result"), nullptr);
+}
+
+TEST(WireTest, ResponsesAreSingleLine) {
+  Response response;
+  response.method = "stats";
+  Json result = Json::Object();
+  result.Set("text", "line1\nline2");
+  response.result = std::move(result);
+  const std::string wire = SerializeResponse(response);
+  EXPECT_EQ(wire.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace pfql

@@ -1,0 +1,90 @@
+#include "util/cancellation.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace pfql {
+namespace {
+
+TEST(CancellationTokenTest, FreshTokenIsOk) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.Expired());
+  EXPECT_TRUE(token.Check().ok());
+}
+
+TEST(CancellationTokenTest, CancelFlipsCheckToCancelled) {
+  CancellationToken token;
+  token.Cancel();
+  EXPECT_TRUE(token.cancelled());
+  const Status status = token.Check();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTokenTest, PastDeadlineIsDeadlineExceeded) {
+  CancellationToken token(std::chrono::steady_clock::now() -
+                          std::chrono::milliseconds(1));
+  EXPECT_TRUE(token.Expired());
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancellationTokenTest, FutureDeadlineIsOkUntilItPasses) {
+  CancellationToken token = CancellationToken::AfterTimeout(
+      std::chrono::milliseconds(20));
+  EXPECT_TRUE(token.Check().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancellationTokenTest, CancellationWinsOverExpiry) {
+  CancellationToken token(std::chrono::steady_clock::now() -
+                          std::chrono::milliseconds(1));
+  token.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancellationTokenTest, CancelFromAnotherThreadIsObserved) {
+  CancellationToken token;
+  std::thread other([&token] { token.Cancel(); });
+  other.join();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelPollerTest, NullTokenIsAlwaysOk) {
+  CancelPoller poller(nullptr, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(poller.Tick().ok());
+}
+
+TEST(CancelPollerTest, FirstTickChecksImmediately) {
+  CancellationToken token;
+  token.Cancel();
+  CancelPoller poller(&token, 1000);
+  EXPECT_EQ(poller.Tick().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelPollerTest, ChecksAtStrideBoundaries) {
+  CancellationToken token;
+  CancelPoller poller(&token, 4);
+  EXPECT_TRUE(poller.Tick().ok());  // tick 0: checks, still OK
+  token.Cancel();
+  // Ticks 1..3 are between strides and must not observe the cancel.
+  EXPECT_TRUE(poller.Tick().ok());
+  EXPECT_TRUE(poller.Tick().ok());
+  EXPECT_TRUE(poller.Tick().ok());
+  // Tick 4 lands on the stride and reports it.
+  EXPECT_EQ(poller.Tick().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelPollerTest, ZeroStrideIsTreatedAsOne) {
+  CancellationToken token;
+  token.Cancel();
+  CancelPoller poller(&token, 0);
+  EXPECT_EQ(poller.Tick().code(), StatusCode::kCancelled);
+  EXPECT_EQ(poller.Tick().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace pfql

@@ -1,0 +1,142 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace pfql {
+namespace {
+
+TEST(JsonTest, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.Dump(), "null");
+}
+
+TEST(JsonTest, ScalarConstructionAndDump) {
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(Json(size_t{3}).Dump(), "3");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(Json(std::string("hi")).Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, DoubleRoundTripsThroughDump) {
+  const Json j(0.25);
+  auto parsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_DOUBLE_EQ(parsed->AsDouble(), 0.25);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::Object();
+  obj.Set("zebra", 1).Set("alpha", 2).Set("mid", 3);
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(JsonTest, SetReplacesExistingKeyInPlace) {
+  Json obj = Json::Object();
+  obj.Set("a", 1).Set("b", 2).Set("a", 9);
+  EXPECT_EQ(obj.Dump(), "{\"a\":9,\"b\":2}");
+  EXPECT_EQ(obj.size(), 2u);
+}
+
+TEST(JsonTest, FindReturnsMemberOrNull) {
+  Json obj = Json::Object();
+  obj.Set("x", 5);
+  ASSERT_NE(obj.Find("x"), nullptr);
+  EXPECT_EQ(obj.Find("x")->AsInt(), 5);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_EQ(Json(3).Find("x"), nullptr);  // non-object
+}
+
+TEST(JsonTest, TypedLookupsWithFallbacks) {
+  Json obj = Json::Object();
+  obj.Set("s", "text").Set("i", 7).Set("d", 1.5).Set("b", true);
+  EXPECT_EQ(obj.GetString("s", "x").value(), "text");
+  EXPECT_EQ(obj.GetString("absent", "fallback").value(), "fallback");
+  EXPECT_EQ(obj.GetInt("i", 0).value(), 7);
+  EXPECT_DOUBLE_EQ(obj.GetDouble("d", 0.0).value(), 1.5);
+  // Ints coerce to double for GetDouble (counters read as means).
+  EXPECT_DOUBLE_EQ(obj.GetDouble("i", 0.0).value(), 7.0);
+  EXPECT_TRUE(obj.GetBool("b", false).value());
+  // Type clash is an error, not a silent fallback.
+  EXPECT_FALSE(obj.GetInt("s", 0).ok());
+  EXPECT_FALSE(obj.GetString("i", "").ok());
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json j(std::string("a\"b\\c\n\t\x01"));
+  EXPECT_EQ(j.Dump(), "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  auto parsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c\n\t\x01");
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("null")->is_null());
+  EXPECT_TRUE(Json::Parse("true")->AsBool());
+  EXPECT_EQ(Json::Parse("-12")->AsInt(), -12);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5e2")->AsDouble(), 250.0);
+  EXPECT_EQ(Json::Parse("\"ok\"")->AsString(), "ok");
+}
+
+TEST(JsonTest, ParseNestedDocument) {
+  auto parsed =
+      Json::Parse("{\"a\":[1,2,{\"b\":null}],\"c\":{\"d\":false}} \n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->items().size(), 3u);
+  EXPECT_EQ(a->items()[1].AsInt(), 2);
+  EXPECT_TRUE(a->items()[2].Find("b")->is_null());
+}
+
+TEST(JsonTest, ParseUnicodeEscape) {
+  auto parsed = Json::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AsString(), "A\xc3\xa9");
+}
+
+TEST(JsonTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":1,}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());  // trailing non-whitespace
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("nan").ok());
+}
+
+TEST(JsonTest, ParseRejectsRunawayNesting) {
+  std::string deep(100, '[');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, DumpParseRoundTrip) {
+  Json obj = Json::Object();
+  obj.Set("list", Json::Array());
+  Json inner = Json::Object();
+  inner.Set("p", 0.5).Set("n", 12).Set("name", "coin");
+  obj.Set("inner", std::move(inner));
+  auto parsed = Json::Parse(obj.Dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(*parsed, obj);
+}
+
+TEST(JsonTest, EqualityDistinguishesTypesAndValues) {
+  EXPECT_EQ(Json(1), Json(1));
+  EXPECT_NE(Json(1), Json(2));
+  EXPECT_NE(Json(1), Json("1"));
+  EXPECT_NE(Json(), Json(false));
+}
+
+TEST(JsonTest, JsonEscapeFreeFunction) {
+  std::string out;
+  JsonEscape("x\"\n", &out);
+  EXPECT_EQ(out, "x\\\"\\n");
+}
+
+}  // namespace
+}  // namespace pfql

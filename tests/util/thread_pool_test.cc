@@ -1,0 +1,133 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace pfql {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(2, 8);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(pool.TrySubmit([&counter] { ++counter; }));
+    // Single-producer submission may outrun two workers plus a queue of 8;
+    // retrying is the caller's contract under load.
+    while (pool.QueueDepth() >= pool.queue_capacity()) {
+      std::this_thread::yield();
+    }
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, AtLeastOneWorkerEvenWhenZeroRequested) {
+  ThreadPool pool(0, 1);
+  EXPECT_GE(pool.worker_count(), 1u);
+  std::atomic<bool> ran{false};
+  ASSERT_TRUE(pool.TrySubmit([&ran] { ran = true; }));
+  pool.WaitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+// A gate that blocks pool workers until released, so tests can fill the
+// queue deterministically.
+class Gate {
+ public:
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_ = true;
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ThreadPoolTest, RefusesWhenQueueFull) {
+  ThreadPool pool(1, 2);
+  Gate gate;
+  std::atomic<int> started{0};
+  // First task occupies the single worker...
+  ASSERT_TRUE(pool.TrySubmit([&] {
+    ++started;
+    gate.Wait();
+  }));
+  while (started.load() == 0) std::this_thread::yield();
+  // ...two more fill the queue...
+  ASSERT_TRUE(pool.TrySubmit([&gate] { gate.Wait(); }));
+  ASSERT_TRUE(pool.TrySubmit([&gate] { gate.Wait(); }));
+  EXPECT_EQ(pool.QueueDepth(), 2u);
+  // ...and the next submission is shed at the front door.
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  gate.Release();
+  pool.WaitIdle();
+  EXPECT_EQ(pool.QueueDepth(), 0u);
+  // Capacity frees up once the backlog drains.
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, ActiveCountTracksRunningTasks) {
+  ThreadPool pool(2, 4);
+  Gate gate;
+  std::atomic<int> started{0};
+  ASSERT_TRUE(pool.TrySubmit([&] {
+    ++started;
+    gate.Wait();
+  }));
+  ASSERT_TRUE(pool.TrySubmit([&] {
+    ++started;
+    gate.Wait();
+  }));
+  while (started.load() < 2) std::this_thread::yield();
+  EXPECT_EQ(pool.ActiveCount(), 2u);
+  gate.Release();
+  pool.WaitIdle();
+  EXPECT_EQ(pool.ActiveCount(), 0u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1, 8);
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(pool.TrySubmit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++counter;
+      }));
+    }
+  }  // ~ThreadPool waits for queued + running tasks
+  EXPECT_EQ(counter.load(), 5);
+}
+
+TEST(ThreadPoolTest, ManyProducersManyTasks) {
+  ThreadPool pool(4, 64);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> producers;
+  producers.reserve(4);
+  std::atomic<int> rejected{0};
+  for (int t = 0; t < 4; ++t) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        if (!pool.TrySubmit([&counter] { ++counter; })) ++rejected;
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load() + rejected.load(), 200);
+}
+
+}  // namespace
+}  // namespace pfql

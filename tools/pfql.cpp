@@ -1,33 +1,44 @@
 // pfql: command-line driver for probabilistic fixpoint queries.
 //
-//   pfql parse     --program prog.dl
-//   pfql run       --program prog.dl --data db.txt [--seed N]
-//   pfql exact     --program prog.dl --data db.txt --event 'cur(3)'
-//   pfql approx    --program prog.dl --data db.txt --event 'cur(3)'
-//                  [--epsilon E] [--delta D] [--seed N]
-//   pfql forever   --program prog.dl --data db.txt --event 'cur(3)'
-//                  [--max-states N]           (noninflationary exact)
-//   pfql mcmc      --program prog.dl --data db.txt --event 'cur(3)'
-//                  [--burn-in N | auto] [--epsilon E] [--delta D] [--seed N]
-//   pfql partition --program prog.dl --data db.txt --event 'cur(3)'
+//   pfql parse      --program prog.dl
+//   pfql run        --program prog.dl --data db.txt [--seed N]
+//   pfql exact      --program prog.dl --data db.txt --event 'cur(3)'
+//   pfql approx     --program prog.dl --data db.txt --event 'cur(3)'
+//                   [--epsilon E] [--delta D] [--seed N]
+//   pfql forever    --program prog.dl --data db.txt --event 'cur(3)'
+//                   [--max-states N]           (noninflationary exact)
+//   pfql mcmc       --program prog.dl --data db.txt --event 'cur(3)'
+//                   [--burn-in N | auto] [--epsilon E] [--delta D] [--seed N]
+//   pfql partition  --program prog.dl --data db.txt --event 'cur(3)'
+//   pfql trajectory --program prog.dl --data db.txt --event 'cur(3)'
+//                   [--steps N] [--runs N] [--seed N]
+//   pfql serve      [pfqld flags]     (run the query daemon in-process)
+//   pfql client     --port N [--request '<json>']   (NDJSON client; with
+//                   no --request, reads request lines from stdin)
+//
+// Query subcommands also accept [--threads N] [--timeout-ms N] [--json].
+// --json prints the wire-format response object of docs/SERVER.md (the
+// same serializer the pfqld daemon uses). Every Status error prints its
+// message on stderr and exits non-zero.
 //
 // Programs use the datalog syntax of datalog/ast.h; data files use the
 // relational/text_io.h instance format; events are ground atoms.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 
-#include "datalog/engine.h"
-#include "datalog/query_parse.h"
-#include "datalog/lexer.h"
-#include "datalog/translate.h"
-#include "eval/inflationary.h"
-#include "eval/noninflationary.h"
-#include "eval/partition.h"
+#include "datalog/program.h"
 #include "relational/text_io.h"
+#include "server/client.h"
+#include "server/daemon.h"
+#include "server/executor.h"
+#include "server/wire.h"
+#include "util/cancellation.h"
+#include "util/json.h"
 
 using namespace pfql;
 
@@ -36,10 +47,13 @@ namespace {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: pfql <parse|run|exact|approx|forever|mcmc|partition>\n"
+      "usage: pfql "
+      "<parse|run|exact|approx|forever|mcmc|partition|trajectory|serve|"
+      "client>\n"
       "            --program FILE [--data FILE] [--event 'rel(v, ...)']\n"
-      "            [--epsilon E] [--delta D] [--seed N]\n"
-      "            [--max-states N] [--burn-in N|auto]\n");
+      "            [--epsilon E] [--delta D] [--seed N] [--threads N]\n"
+      "            [--max-states N] [--max-nodes N] [--burn-in N|auto]\n"
+      "            [--steps N] [--runs N] [--timeout-ms N] [--json]\n");
   return 2;
 }
 
@@ -54,6 +68,7 @@ StatusOr<std::string> ReadFile(const std::string& path) {
 struct Args {
   std::string mode;
   std::map<std::string, std::string> options;
+  bool json = false;
 
   bool Has(const std::string& key) const { return options.count(key) > 0; }
   std::string Get(const std::string& key, const std::string& fallback) const {
@@ -66,8 +81,13 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
   if (argc < 2) return Status::InvalidArgument("missing mode");
   Args args;
   args.mode = argv[1];
+  if (args.mode == "--serve") args.mode = "serve";
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
+    if (key == "--json") {
+      args.json = true;
+      continue;
+    }
     if (key.rfind("--", 0) != 0) {
       return Status::InvalidArgument("unexpected argument '" + key + "'");
     }
@@ -80,130 +100,257 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
   return args;
 }
 
-int Fail(const Status& status) {
+// Prints the error on stderr (always) and, under --json, the wire-format
+// error response on stdout; exits non-zero either way.
+int Fail(const Status& status, const Args& args,
+         const std::string& method = "") {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  if (args.json) {
+    std::printf("%s\n",
+                server::SerializeResponse(
+                    server::ErrorResponse(Json(), method, status))
+                    .c_str());
+  }
   return 1;
+}
+
+// Payload accessors for the human-readable renderers; the executor always
+// sets the fields a kind renders, so missing fields indicate a bug.
+int64_t GetInt(const Json& payload, const char* key) {
+  const Json* v = payload.Find(key);
+  return v != nullptr && v->is_number() ? v->AsInt() : 0;
+}
+double GetDouble(const Json& payload, const char* key) {
+  const Json* v = payload.Find(key);
+  return v != nullptr && v->is_number() ? v->AsDouble() : 0.0;
+}
+std::string GetString(const Json& payload, const char* key) {
+  const Json* v = payload.Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : std::string();
+}
+bool GetBool(const Json& payload, const char* key) {
+  const Json* v = payload.Find(key);
+  return v != nullptr && v->is_bool() && v->AsBool();
+}
+
+void PrintHumanResult(server::RequestKind kind, const Json& payload) {
+  const std::string event = GetString(payload, "event");
+  switch (kind) {
+    case server::RequestKind::kRun:
+      std::printf("%% fixpoint after %lld steps\n%s",
+                  static_cast<long long>(GetInt(payload, "steps")),
+                  GetString(payload, "fixpoint").c_str());
+      break;
+    case server::RequestKind::kExact:
+      std::printf("Pr[%s] = %s (%.6f)\n", event.c_str(),
+                  GetString(payload, "probability").c_str(),
+                  GetDouble(payload, "probability_double"));
+      break;
+    case server::RequestKind::kApprox:
+      std::printf("Pr[%s] ~= %.6f  (%lld samples, eps=%g, delta=%g)\n",
+                  event.c_str(), GetDouble(payload, "estimate"),
+                  static_cast<long long>(GetInt(payload, "samples")),
+                  GetDouble(payload, "epsilon"),
+                  GetDouble(payload, "delta"));
+      break;
+    case server::RequestKind::kForever:
+      std::printf(
+          "Pr[%s] = %s (%.6f)\n%% %lld states, %lld SCCs (%lld bottom), "
+          "%s, %s\n",
+          event.c_str(), GetString(payload, "probability").c_str(),
+          GetDouble(payload, "probability_double"),
+          static_cast<long long>(GetInt(payload, "states")),
+          static_cast<long long>(GetInt(payload, "components")),
+          static_cast<long long>(GetInt(payload, "bottom_components")),
+          GetBool(payload, "irreducible") ? "irreducible" : "reducible",
+          GetBool(payload, "aperiodic") ? "aperiodic" : "periodic");
+      break;
+    case server::RequestKind::kMcmc:
+      if (GetBool(payload, "burn_in_measured")) {
+        std::printf("%% measured TV mixing time: %lld steps\n",
+                    static_cast<long long>(GetInt(payload, "burn_in")));
+      }
+      std::printf("Pr[%s] ~= %.6f  (%lld samples, burn-in %lld)\n",
+                  event.c_str(), GetDouble(payload, "estimate"),
+                  static_cast<long long>(GetInt(payload, "samples")),
+                  static_cast<long long>(GetInt(payload, "burn_in")));
+      break;
+    case server::RequestKind::kPartition:
+      std::printf("Pr[%s] = %s (%.6f)\n%% %lld classes, %lld total states\n",
+                  event.c_str(), GetString(payload, "probability").c_str(),
+                  GetDouble(payload, "probability_double"),
+                  static_cast<long long>(GetInt(payload, "classes")),
+                  static_cast<long long>(GetInt(payload, "states")));
+      break;
+    case server::RequestKind::kTrajectory:
+      std::printf("Pr[%s] ~= %.6f  (%lld runs x %lld steps)\n",
+                  event.c_str(), GetDouble(payload, "estimate"),
+                  static_cast<long long>(GetInt(payload, "runs")),
+                  static_cast<long long>(GetInt(payload, "steps_per_run")));
+      break;
+    default:
+      break;
+  }
+}
+
+int RunParse(const Args& args, const std::string& program_text) {
+  auto program = datalog::ParseProgram(program_text);
+  if (!program.ok()) return Fail(program.status(), args, "parse");
+  if (args.json) {
+    Json result = Json::Object();
+    result.Set("program", program->ToString());
+    Json edb = Json::Array();
+    for (const auto& p : program->edb_predicates()) edb.Append(p);
+    Json idb = Json::Array();
+    for (const auto& p : program->idb_predicates()) idb.Append(p);
+    result.Set("edb", std::move(edb));
+    result.Set("idb", std::move(idb));
+    result.Set("linear", program->IsLinear());
+    result.Set("probabilistic", program->HasProbabilisticRules());
+    server::Response response;
+    response.method = "parse";
+    response.result = std::move(result);
+    std::printf("%s\n", server::SerializeResponse(response).c_str());
+    return 0;
+  }
+  std::printf("%s", program->ToString().c_str());
+  std::printf("%% EDB:");
+  for (const auto& p : program->edb_predicates()) {
+    std::printf(" %s/%zu", p.c_str(), program->arities().at(p));
+  }
+  std::printf("\n%% IDB:");
+  for (const auto& p : program->idb_predicates()) {
+    std::printf(" %s/%zu", p.c_str(), program->arities().at(p));
+  }
+  std::printf("\n%% linear: %s, probabilistic rules: %s\n",
+              program->IsLinear() ? "yes" : "no",
+              program->HasProbabilisticRules() ? "yes" : "no");
+  return 0;
+}
+
+int RunClient(const Args& args) {
+  if (!args.Has("port")) return Usage();
+  server::Client client;
+  Status status = client.Connect(
+      static_cast<uint16_t>(std::stoul(args.Get("port", "0"))));
+  if (!status.ok()) return Fail(status, args, "client");
+
+  int exit_code = 0;
+  auto round_trip = [&](const std::string& line) {
+    auto response = client.RoundTrip(line);
+    if (!response.ok()) {
+      exit_code = Fail(response.status(), args, "client");
+      return false;
+    }
+    std::printf("%s\n", response->c_str());
+    auto parsed = Json::Parse(*response);
+    if (parsed.ok()) {
+      const Json* ok = parsed->Find("ok");
+      if (ok != nullptr && ok->is_bool() && !ok->AsBool()) exit_code = 1;
+    }
+    return true;
+  };
+
+  if (args.Has("request")) {
+    round_trip(args.Get("request", ""));
+    return exit_code;
+  }
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty()) continue;
+    if (!round_trip(line)) break;
+  }
+  return exit_code;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // serve mode forwards its flags verbatim to the daemon driver.
+  if (argc >= 2 && (std::strcmp(argv[1], "serve") == 0 ||
+                    std::strcmp(argv[1], "--serve") == 0)) {
+    auto options = server::ParseDaemonArgs(argc - 2, argv + 2);
+    if (!options.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   options.status().ToString().c_str());
+      return 2;
+    }
+    return server::RunDaemon(*options);
+  }
+
   auto args_or = ParseArgs(argc, argv);
   if (!args_or.ok()) return Usage();
   const Args& args = *args_or;
 
+  if (args.mode == "client") return RunClient(args);
+
   if (!args.Has("program")) return Usage();
   auto program_text = ReadFile(args.Get("program", ""));
-  if (!program_text.ok()) return Fail(program_text.status());
-  auto program = datalog::ParseProgram(*program_text);
-  if (!program.ok()) return Fail(program.status());
+  if (!program_text.ok()) return Fail(program_text.status(), args);
 
-  if (args.mode == "parse") {
-    std::printf("%s", program->ToString().c_str());
-    std::printf("%% EDB:");
-    for (const auto& p : program->edb_predicates()) {
-      std::printf(" %s/%zu", p.c_str(), program->arities().at(p));
-    }
-    std::printf("\n%% IDB:");
-    for (const auto& p : program->idb_predicates()) {
-      std::printf(" %s/%zu", p.c_str(), program->arities().at(p));
-    }
-    std::printf("\n%% linear: %s, probabilistic rules: %s\n",
-                program->IsLinear() ? "yes" : "no",
-                program->HasProbabilisticRules() ? "yes" : "no");
-    return 0;
+  if (args.mode == "parse") return RunParse(args, *program_text);
+
+  auto kind = server::RequestKindFromString(args.mode);
+  if (!kind.ok() || !server::IsQueryKind(*kind)) return Usage();
+
+  // Build the same Request the daemon would parse off the wire, resolve
+  // it locally, and execute through the shared executor.
+  server::Request request;
+  request.kind = *kind;
+  request.program_text = *program_text;
+  if (args.Has("data")) {
+    auto data_text = ReadFile(args.Get("data", ""));
+    if (!data_text.ok()) return Fail(data_text.status(), args, args.mode);
+    request.data_text = *data_text;
+  } else if (args.mode != "run") {
+    return Usage();
+  }
+  if (args.mode != "run") {
+    if (!args.Has("event")) return Usage();
+    request.event = args.Get("event", "");
+  }
+  try {
+    request.epsilon = std::stod(args.Get("epsilon", "0.05"));
+    request.delta = std::stod(args.Get("delta", "0.05"));
+    request.seed = std::stoull(args.Get("seed", "42"));
+    request.max_states = std::stoull(args.Get("max-states", "16384"));
+    request.max_nodes = std::stoull(args.Get("max-nodes", "4194304"));
+    request.steps = std::stoull(args.Get("steps", "1000"));
+    request.runs = std::stoull(args.Get("runs", "16"));
+    request.threads = std::stoull(args.Get("threads", "1"));
+    request.timeout_ms = std::stoll(args.Get("timeout-ms", "0"));
+    const std::string burn = args.Get("burn-in", "auto");
+    if (burn != "auto") request.burn_in = std::stoull(burn);
+  } catch (const std::exception&) {
+    return Fail(Status::InvalidArgument("malformed numeric flag value"),
+                args, args.mode);
   }
 
-  if (!args.Has("data")) return Usage();
-  auto edb = LoadInstanceFile(args.Get("data", ""));
-  if (!edb.ok()) return Fail(edb.status());
-
-  const uint64_t seed = std::stoull(args.Get("seed", "42"));
-  Rng rng(seed);
-
-  if (args.mode == "run") {
-    auto engine = datalog::InflationaryEngine::Make(*program, *edb);
-    if (!engine.ok()) return Fail(engine.status());
-    auto fixpoint = engine->RunToFixpoint(&rng);
-    if (!fixpoint.ok()) return Fail(fixpoint.status());
-    std::printf("%% fixpoint after %zu steps\n%s",
-                engine->steps_taken(),
-                FormatInstance(*fixpoint).c_str());
-    return 0;
+  auto program = datalog::ParseProgram(request.program_text);
+  if (!program.ok()) return Fail(program.status(), args, args.mode);
+  Instance edb;
+  if (!request.data_text.empty()) {
+    auto parsed = ParseInstanceText(request.data_text);
+    if (!parsed.ok()) return Fail(parsed.status(), args, args.mode);
+    edb = *std::move(parsed);
   }
 
-  if (!args.Has("event")) return Usage();
-  auto event = datalog::ParseGroundAtom(args.Get("event", ""));
-  if (!event.ok()) return Fail(event.status());
+  std::optional<CancellationToken> token;
+  if (request.timeout_ms > 0) {
+    token.emplace(std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(request.timeout_ms));
+  }
+  auto payload = server::ExecuteQuery(request, *program, edb,
+                                      token.has_value() ? &*token : nullptr);
+  if (!payload.ok()) return Fail(payload.status(), args, args.mode);
 
-  if (args.mode == "exact") {
-    auto p = eval::ExactInflationary(*program, *edb, *event);
-    if (!p.ok()) return Fail(p.status());
-    std::printf("Pr[%s] = %s (%.6f)\n", event->ToString().c_str(),
-                p->ToString().c_str(), p->ToDouble());
-    return 0;
+  if (args.json) {
+    server::Response response;
+    response.method = args.mode;
+    response.result = *payload;
+    std::printf("%s\n", server::SerializeResponse(response).c_str());
+  } else {
+    PrintHumanResult(request.kind, *payload);
   }
-  if (args.mode == "approx") {
-    eval::ApproxParams params;
-    params.epsilon = std::stod(args.Get("epsilon", "0.05"));
-    params.delta = std::stod(args.Get("delta", "0.05"));
-    auto r = eval::ApproxInflationary(*program, *edb, *event, params, &rng);
-    if (!r.ok()) return Fail(r.status());
-    std::printf("Pr[%s] ~= %.6f  (%zu samples, eps=%g, delta=%g)\n",
-                event->ToString().c_str(), r->estimate, r->samples,
-                params.epsilon, params.delta);
-    return 0;
-  }
-  if (args.mode == "forever") {
-    auto tq = datalog::TranslateNonInflationary(*program, *edb);
-    if (!tq.ok()) return Fail(tq.status());
-    StateSpaceOptions options;
-    options.max_states = std::stoull(args.Get("max-states", "16384"));
-    auto r = eval::ExactForever({tq->kernel, *event}, tq->initial, options);
-    if (!r.ok()) return Fail(r.status());
-    std::printf(
-        "Pr[%s] = %s (%.6f)\n%% %zu states, %zu SCCs (%zu bottom), %s, %s\n",
-        event->ToString().c_str(), r->probability.ToString().c_str(),
-        r->probability.ToDouble(), r->num_states, r->num_components,
-        r->num_bottom, r->irreducible ? "irreducible" : "reducible",
-        r->aperiodic ? "aperiodic" : "periodic");
-    return 0;
-  }
-  if (args.mode == "mcmc") {
-    auto tq = datalog::TranslateNonInflationary(*program, *edb);
-    if (!tq.ok()) return Fail(tq.status());
-    eval::McmcParams params;
-    params.epsilon = std::stod(args.Get("epsilon", "0.05"));
-    params.delta = std::stod(args.Get("delta", "0.05"));
-    std::string burn = args.Get("burn-in", "auto");
-    if (burn == "auto") {
-      auto t = eval::MeasureMixingTimeTV(tq->kernel, tq->initial,
-                                         params.epsilon / 2);
-      if (!t.ok()) return Fail(t.status());
-      params.burn_in = *t;
-      std::printf("%% measured TV mixing time: %zu steps\n", params.burn_in);
-    } else {
-      params.burn_in = std::stoull(burn);
-    }
-    auto r = eval::McmcForever({tq->kernel, *event}, tq->initial, params,
-                               &rng);
-    if (!r.ok()) return Fail(r.status());
-    std::printf("Pr[%s] ~= %.6f  (%zu samples, burn-in %zu)\n",
-                event->ToString().c_str(), r->estimate, r->samples,
-                params.burn_in);
-    return 0;
-  }
-  if (args.mode == "partition") {
-    StateSpaceOptions options;
-    options.max_states = std::stoull(args.Get("max-states", "16384"));
-    auto r = eval::PartitionedExactForever(*program, *edb, *event, options);
-    if (!r.ok()) return Fail(r.status());
-    size_t states = 0;
-    for (size_t s : r->states_per_class) states += s;
-    std::printf("Pr[%s] = %s (%.6f)\n%% %zu classes, %zu total states\n",
-                event->ToString().c_str(), r->probability.ToString().c_str(),
-                r->probability.ToDouble(), r->num_classes, states);
-    return 0;
-  }
-  return Usage();
+  return 0;
 }
