@@ -1,7 +1,9 @@
 // Throughput/latency benchmark for the query service and the pfqld TCP
 // front-end. Measures (a) in-process exact-query latency cold vs cached,
-// (b) NDJSON round-trip overhead over loopback TCP, and (c) sustained
-// multi-client throughput against the worker pool. Emits BENCH_pr3.json
+// (b) NDJSON round-trip overhead over loopback TCP, (c) sustained
+// multi-client throughput against the worker pool, and (d) the cost and
+// accuracy of graceful degradation: an approx query interrupted at half
+// its sample budget vs the same-seed complete run. Emits BENCH_pr4.json
 // (machine-readable) next to the human-readable table.
 //
 //   bench_server [clients] [requests_per_client]
@@ -18,6 +20,7 @@
 #include "bench/bench_util.h"
 #include "server/client.h"
 #include "server/tcp_server.h"
+#include "util/fault_injection.h"
 #include "util/json.h"
 
 using namespace pfql;
@@ -165,8 +168,68 @@ int main(int argc, char** argv) {
     report.Set("tcp_throughput", std::move(throughput));
   }
 
-  std::ofstream out("BENCH_pr3.json");
+  // (d) Graceful degradation: the same approx query run to completion vs
+  // interrupted at half its sample budget (single-threaded so the RNG
+  // streams coincide and the degraded estimate is the literal prefix of
+  // the complete one).
+  {
+    server::QueryService service;
+    server::Request request = CoinRequest(server::RequestKind::kApprox);
+    request.epsilon = 0.01;
+    request.delta = 0.05;
+    request.no_cache = true;
+
+    server::Response complete;
+    const double complete_ms =
+        bench::TimeMs([&] { complete = service.Call(request); });
+    if (!complete.status.ok()) {
+      std::fprintf(stderr, "bench_server: complete approx run failed\n");
+      return 1;
+    }
+    const int64_t budget =
+        complete.result.Find("samples_requested")->AsInt();
+
+    server::Response degraded;
+    double degraded_ms = 0.0;
+    {
+      fault::ScopedFault fault(
+          fault::points::kApproxSample,
+          fault::FaultSpec::NthHit(static_cast<uint64_t>(budget) / 2));
+      degraded_ms = bench::TimeMs([&] { degraded = service.Call(request); });
+    }
+    if (!degraded.status.ok() ||
+        !degraded.result.Find("degraded")->AsBool()) {
+      std::fprintf(stderr, "bench_server: degraded approx run failed\n");
+      return 1;
+    }
+    const double complete_est =
+        complete.result.Find("estimate")->AsDouble();
+    const double degraded_est =
+        degraded.result.Find("estimate")->AsDouble();
+    const double abs_error =
+        degraded_est > complete_est ? degraded_est - complete_est
+                                    : complete_est - degraded_est;
+    bench::PrintRow({"degraded-approx", "complete_ms",
+                     bench::Fmt(complete_ms), "degraded_ms",
+                     bench::Fmt(degraded_ms), "abs_err",
+                     bench::Fmt(abs_error, 4)});
+    Json degradation = Json::Object();
+    degradation.Set("samples_complete", complete.result.Find("samples")->AsInt());
+    degradation.Set("samples_degraded", degraded.result.Find("samples")->AsInt());
+    degradation.Set("complete_ms", complete_ms);
+    degradation.Set("degraded_ms", degraded_ms);
+    degradation.Set("estimate_complete", complete_est);
+    degradation.Set("estimate_degraded", degraded_est);
+    degradation.Set("estimate_abs_error", abs_error);
+    degradation.Set("ci_halfwidth",
+                    degraded.result.Find("ci_halfwidth")->AsDouble());
+    degradation.Set("time_saved_ratio",
+                    complete_ms > 0 ? 1.0 - degraded_ms / complete_ms : 0.0);
+    report.Set("degraded_vs_complete", std::move(degradation));
+  }
+
+  std::ofstream out("BENCH_pr4.json");
   out << report.DumpPretty() << "\n";
-  std::printf("wrote BENCH_pr3.json\n");
+  std::printf("wrote BENCH_pr4.json\n");
   return 0;
 }

@@ -5,6 +5,8 @@
 #include <functional>
 #include <thread>
 
+#include "util/fault_injection.h"
+
 namespace pfql {
 namespace eval {
 
@@ -75,24 +77,41 @@ size_t ApproxParams::SampleCount() const {
 
 namespace {
 
-// One worker's share of the Monte Carlo samples.
+// One worker's share of the Monte Carlo samples. `status` is a hard error
+// (evaluation failed; the whole run fails); `interruption` records a
+// cancel/deadline/injected fault that stopped this worker early when the
+// caller opted into partial results.
 struct WorkerTally {
   size_t hits = 0;
+  size_t completed = 0;
   size_t steps = 0;
   Status status;
+  Status interruption;
 };
 
 void RunWorker(const datalog::Program& program, const QueryEvent& event,
                size_t samples, Rng rng,
                const std::function<StatusOr<Instance>(Rng*)>& draw_world,
-               const CancellationToken* cancel, WorkerTally* tally) {
+               const CancellationToken* cancel, bool allow_partial,
+               WorkerTally* tally) {
+  auto interrupt = [&](Status why) {
+    if (allow_partial) {
+      tally->interruption = std::move(why);
+    } else {
+      tally->status = std::move(why);
+    }
+  };
   for (size_t i = 0; i < samples; ++i) {
     if (cancel != nullptr) {
       Status cancelled = cancel->Check();
       if (!cancelled.ok()) {
-        tally->status = std::move(cancelled);
+        interrupt(std::move(cancelled));
         return;
       }
+    }
+    if (fault::InjectFault(fault::points::kApproxSample)) {
+      interrupt(fault::InjectedError(fault::points::kApproxSample));
+      return;
     }
     auto world = draw_world(&rng);
     if (!world.ok()) {
@@ -111,6 +130,7 @@ void RunWorker(const datalog::Program& program, const QueryEvent& event,
     }
     tally->steps += engine->steps_taken();
     if (event.Holds(*fixpoint)) ++tally->hits;
+    ++tally->completed;
   }
 }
 
@@ -119,23 +139,23 @@ StatusOr<ApproxResult> RunSamples(
     const ApproxParams& params, Rng* rng,
     const std::function<StatusOr<Instance>(Rng*)>& draw_world) {
   ApproxResult result;
-  result.samples = params.SampleCount();
+  result.samples_requested = params.BudgetedSamples();
   const size_t workers =
-      std::max<size_t>(1, std::min(params.threads, result.samples));
+      std::max<size_t>(1, std::min(params.threads, result.samples_requested));
   std::vector<WorkerTally> tallies(workers);
-  std::vector<size_t> shares(workers, result.samples / workers);
-  for (size_t w = 0; w < result.samples % workers; ++w) ++shares[w];
+  std::vector<size_t> shares(workers, result.samples_requested / workers);
+  for (size_t w = 0; w < result.samples_requested % workers; ++w) ++shares[w];
 
   if (workers == 1) {
     RunWorker(program, event, shares[0], rng->Fork(), draw_world,
-              params.cancel, &tallies[0]);
+              params.cancel, params.allow_partial, &tallies[0]);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
       pool.emplace_back(RunWorker, std::cref(program), std::cref(event),
                         shares[w], rng->Fork(), std::cref(draw_world),
-                        params.cancel, &tallies[w]);
+                        params.cancel, params.allow_partial, &tallies[w]);
     }
     for (auto& t : pool) t.join();
   }
@@ -144,10 +164,22 @@ StatusOr<ApproxResult> RunSamples(
   for (const auto& tally : tallies) {
     PFQL_RETURN_NOT_OK(tally.status);
     hits += tally.hits;
+    result.samples += tally.completed;
     result.total_steps += tally.steps;
+    if (!tally.interruption.ok() && result.interruption.ok()) {
+      result.interruption = tally.interruption;
+    }
   }
-  result.estimate =
-      static_cast<double>(hits) / static_cast<double>(result.samples);
+  if (!result.interruption.ok()) {
+    // An interruption with nothing completed is still a failure — there is
+    // no estimate to degrade to.
+    if (result.samples == 0) return result.interruption;
+    result.degraded = true;
+  }
+  result.estimate = result.samples == 0
+                        ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(result.samples);
   return result;
 }
 

@@ -44,18 +44,37 @@ struct ApproxParams {
   /// Optional cooperative cancel/deadline token, polled between samples by
   /// every worker. Non-owning; may be null.
   const CancellationToken* cancel = nullptr;
+  /// Overrides the Hoeffding budget when > 0 (mainly for tests and for
+  /// reproducing the completed prefix of a degraded run).
+  size_t max_samples = 0;
+  /// When true, an interruption (deadline, cancel, injected fault) with at
+  /// least one completed sample yields a *degraded* result over the
+  /// completed prefix instead of an error. With zero completed samples the
+  /// interruption is still surfaced as an error.
+  bool allow_partial = false;
 
   /// The Hoeffding sample count m = ⌈ln(2/δ)/(2ε²)⌉ used by Thm 4.3.
   /// (The paper states ln(1/δ)/(4ε²); we use the standard two-sided
   /// Hoeffding constant, which differs only by constants.)
   size_t SampleCount() const;
+
+  /// The actual sample budget: max_samples when set, else SampleCount().
+  size_t BudgetedSamples() const {
+    return max_samples > 0 ? max_samples : SampleCount();
+  }
 };
 
-/// Result of a sampling run.
+/// Result of a sampling run. When `degraded` is false, `samples` equals
+/// `samples_requested` and the Thm 4.3 (epsilon, delta) guarantee applies.
+/// When true, the estimate is the empirical mean over the completed prefix
+/// only and `interruption` records why sampling stopped.
 struct ApproxResult {
   double estimate = 0.0;
-  size_t samples = 0;
-  size_t total_steps = 0;  ///< engine steps across all samples
+  size_t samples = 0;            ///< samples actually completed
+  size_t samples_requested = 0;  ///< the budget sampling aimed for
+  size_t total_steps = 0;        ///< engine steps across all samples
+  bool degraded = false;
+  Status interruption;  ///< non-OK iff degraded
 };
 
 /// Thm 4.3: randomized absolute approximation over a deterministic input.

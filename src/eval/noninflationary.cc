@@ -4,6 +4,8 @@
 #include <cmath>
 #include <thread>
 
+#include "util/fault_injection.h"
+
 namespace pfql {
 namespace eval {
 
@@ -66,21 +68,41 @@ size_t McmcParams::SampleCount() const {
 
 namespace {
 
+// `status` is a hard error; `interruption` a cancel/deadline/fault stop
+// under allow_partial. A sample interrupted mid-burn-in never counts: only
+// fully burned-in samples contribute to `completed` and `hits`.
 struct McmcTally {
   size_t hits = 0;
+  size_t completed = 0;
   size_t steps = 0;
   Status status;
+  Status interruption;
 };
 
 void McmcWorker(const ForeverQuery& query, const Instance& initial,
                 size_t samples, size_t burn_in,
-                const CancellationToken* cancel, Rng rng, McmcTally* tally) {
+                const CancellationToken* cancel, bool allow_partial, Rng rng,
+                McmcTally* tally) {
+  auto interrupt = [&](Status why) {
+    if (allow_partial) {
+      tally->interruption = std::move(why);
+    } else {
+      tally->status = std::move(why);
+    }
+  };
   CancelPoller poller(cancel);
   for (size_t i = 0; i < samples; ++i) {
+    if (fault::InjectFault(fault::points::kMcmcSample)) {
+      interrupt(fault::InjectedError(fault::points::kMcmcSample));
+      return;
+    }
     Instance state = initial;
     for (size_t t = 0; t < burn_in; ++t) {
-      tally->status = poller.Tick();
-      if (!tally->status.ok()) return;
+      Status cancelled = poller.Tick();
+      if (!cancelled.ok()) {
+        interrupt(std::move(cancelled));
+        return;
+      }
       auto next = query.kernel.ApplySample(state, &rng);
       if (!next.ok()) {
         tally->status = next.status();
@@ -90,6 +112,7 @@ void McmcWorker(const ForeverQuery& query, const Instance& initial,
     }
     tally->steps += burn_in;
     if (query.event.Holds(state)) ++tally->hits;
+    ++tally->completed;
   }
 }
 
@@ -99,23 +122,23 @@ StatusOr<McmcResult> McmcForever(const ForeverQuery& query,
                                  const Instance& initial,
                                  const McmcParams& params, Rng* rng) {
   McmcResult result;
-  result.samples = params.SampleCount();
+  result.samples_requested = params.BudgetedSamples();
   const size_t workers =
-      std::max<size_t>(1, std::min(params.threads, result.samples));
+      std::max<size_t>(1, std::min(params.threads, result.samples_requested));
   std::vector<McmcTally> tallies(workers);
-  std::vector<size_t> shares(workers, result.samples / workers);
-  for (size_t w = 0; w < result.samples % workers; ++w) ++shares[w];
+  std::vector<size_t> shares(workers, result.samples_requested / workers);
+  for (size_t w = 0; w < result.samples_requested % workers; ++w) ++shares[w];
 
   if (workers == 1) {
     McmcWorker(query, initial, shares[0], params.burn_in, params.cancel,
-               rng->Fork(), &tallies[0]);
+               params.allow_partial, rng->Fork(), &tallies[0]);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
       pool.emplace_back(McmcWorker, std::cref(query), std::cref(initial),
-                        shares[w], params.burn_in, params.cancel, rng->Fork(),
-                        &tallies[w]);
+                        shares[w], params.burn_in, params.cancel,
+                        params.allow_partial, rng->Fork(), &tallies[w]);
     }
     for (auto& t : pool) t.join();
   }
@@ -124,10 +147,20 @@ StatusOr<McmcResult> McmcForever(const ForeverQuery& query,
   for (const auto& tally : tallies) {
     PFQL_RETURN_NOT_OK(tally.status);
     hits += tally.hits;
+    result.samples += tally.completed;
     result.total_steps += tally.steps;
+    if (!tally.interruption.ok() && result.interruption.ok()) {
+      result.interruption = tally.interruption;
+    }
   }
-  result.estimate =
-      static_cast<double>(hits) / static_cast<double>(result.samples);
+  if (!result.interruption.ok()) {
+    if (result.samples == 0) return result.interruption;
+    result.degraded = true;
+  }
+  result.estimate = result.samples == 0
+                        ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(result.samples);
   return result;
 }
 

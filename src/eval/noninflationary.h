@@ -51,14 +51,30 @@ struct McmcParams {
   /// Optional cooperative cancel/deadline token, polled at a stride over
   /// burn-in steps by every worker. Non-owning; may be null.
   const CancellationToken* cancel = nullptr;
+  /// Overrides the Hoeffding budget when > 0 (mainly for tests and for
+  /// reproducing the completed prefix of a degraded run).
+  size_t max_samples = 0;
+  /// When true, an interruption (deadline, cancel, injected fault) with at
+  /// least one completed sample yields a degraded result over the completed
+  /// prefix. A sample interrupted mid-burn-in is discarded, never counted.
+  bool allow_partial = false;
 
   size_t SampleCount() const;
+
+  /// The actual sample budget: max_samples when set, else SampleCount().
+  size_t BudgetedSamples() const {
+    return max_samples > 0 ? max_samples : SampleCount();
+  }
 };
 
+/// See ApproxResult for the degraded-result contract; identical here.
 struct McmcResult {
   double estimate = 0.0;
-  size_t samples = 0;
+  size_t samples = 0;            ///< samples actually completed
+  size_t samples_requested = 0;  ///< the budget sampling aimed for
   size_t total_steps = 0;
+  bool degraded = false;
+  Status interruption;  ///< non-OK iff degraded
 };
 
 /// Thm 5.6: draws SampleCount() independent samples; each sample restarts

@@ -1,5 +1,7 @@
 #include "eval/trajectory.h"
 
+#include "util/fault_injection.h"
+
 namespace pfql {
 namespace eval {
 
@@ -20,14 +22,28 @@ StatusOr<TrajectoryResult> TimeAverageEstimate(const Interpretation& kernel,
                           static_cast<double>(params.steps));
 
   TrajectoryResult result;
+  result.runs_requested = params.runs;
   result.per_run.reserve(params.runs);
   CancelPoller poller(params.cancel);
   double total = 0.0;
+  // An interruption (deadline/cancel/fault) mid-run discards that run; with
+  // allow_partial the completed runs still yield a degraded estimate.
+  auto interrupt = [&](Status why) -> StatusOr<TrajectoryResult> {
+    if (!params.allow_partial || result.per_run.empty()) return why;
+    result.degraded = true;
+    result.interruption = std::move(why);
+    result.estimate = total / static_cast<double>(result.per_run.size());
+    return result;
+  };
   for (size_t run = 0; run < params.runs; ++run) {
+    if (fault::InjectFault(fault::points::kTrajectoryRun)) {
+      return interrupt(fault::InjectedError(fault::points::kTrajectoryRun));
+    }
     Instance state = initial;
     size_t hits = 0, counted = 0;
     for (size_t t = 0; t < params.steps; ++t) {
-      PFQL_RETURN_NOT_OK(poller.Tick());
+      Status cancelled = poller.Tick();
+      if (!cancelled.ok()) return interrupt(std::move(cancelled));
       PFQL_ASSIGN_OR_RETURN(state, kernel.ApplySample(state, rng));
       ++result.total_steps;
       if (t < discard) continue;

@@ -36,14 +36,22 @@ struct TrajectoryParams {
   /// Optional cooperative cancel/deadline token, polled at a stride over
   /// simulation steps. Non-owning; may be null.
   const CancellationToken* cancel = nullptr;
+  /// When true, an interruption (deadline, cancel, injected fault) with at
+  /// least one completed run yields a degraded result averaged over the
+  /// completed runs; a run interrupted mid-trajectory is discarded.
+  bool allow_partial = false;
 };
 
 struct TrajectoryResult {
-  /// Mean over runs of the per-run time average.
+  /// Mean over (completed) runs of the per-run time average.
   double estimate = 0.0;
   /// Per-run time averages (useful to see multimodality from reducibility).
+  /// One entry per *completed* run; size < runs_requested iff degraded.
   std::vector<double> per_run;
+  size_t runs_requested = 0;
   size_t total_steps = 0;
+  bool degraded = false;
+  Status interruption;  ///< non-OK iff degraded
 };
 
 /// Time-average estimate of a general-event forever query.

@@ -5,6 +5,8 @@
 #include <thread>
 #include <utility>
 
+#include "util/fault_injection.h"
+
 namespace pfql {
 
 namespace {
@@ -31,6 +33,11 @@ void ExpandWave(const Interpretation& q, const std::vector<Instance>& states,
         (*results)[k].emplace(std::move(cancelled));
         return;
       }
+    }
+    if (fault::InjectFault(fault::points::kStateSpaceExpand)) {
+      (*results)[k].emplace(
+          fault::InjectedError(fault::points::kStateSpaceExpand));
+      return;
     }
     StatusOr<Distribution<Instance>> successors =
         q.ApplyExact(states[wave_begin + k], options.eval);

@@ -3,10 +3,17 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <optional>
+#include <thread>
+
+#include "server/wire.h"
 
 namespace pfql {
 namespace server {
@@ -28,6 +35,16 @@ Status Client::Connect(uint16_t port) {
     return Status::Unavailable("connect 127.0.0.1:" + std::to_string(port) +
                                ": " + std::strerror(err));
   }
+  if (options_.retry.attempt_timeout.count() > 0) {
+    // Per-attempt receive timeout; an expired one surfaces from ReadLine
+    // as a retryable Unavailable.
+    const int64_t ms = options_.retry.attempt_timeout.count();
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  port_ = port;
   return Status::OK();
 }
 
@@ -37,6 +54,12 @@ void Client::Disconnect() {
     fd_ = -1;
   }
   buffer_.clear();
+}
+
+Status Client::EnsureConnected() {
+  if (connected()) return Status::OK();
+  if (port_ == 0) return Status::FailedPrecondition("not connected");
+  return Connect(port_);
 }
 
 StatusOr<std::string> Client::RoundTrip(std::string_view request_line) {
@@ -62,6 +85,77 @@ StatusOr<Json> Client::Call(const Json& request) {
   return Json::Parse(line);
 }
 
+StatusOr<Json> Client::CallWithRetry(const Json& request) {
+  // Only idempotent methods may be resent: a transport error leaves it
+  // unknown whether the server executed the request. (Every current method
+  // is idempotent; an unknown method gets one attempt and the server's
+  // error.)
+  bool idempotent = false;
+  if (const Json* method = request.Find("method");
+      method != nullptr && method->is_string()) {
+    StatusOr<RequestKind> kind = RequestKindFromString(method->AsString());
+    idempotent = kind.ok() && IsIdempotent(*kind);
+  }
+
+  const RetryPolicy& policy = options_.retry;
+  const int attempts = std::max(1, policy.max_attempts);
+  Backoff backoff(policy);
+  const auto start = std::chrono::steady_clock::now();
+  const bool bounded = policy.overall_deadline.count() > 0;
+  const auto deadline = start + policy.overall_deadline;
+
+  Status last_transport = Status::OK();
+  std::optional<Json> last_error_reply;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      const auto delay = backoff.NextDelay();
+      if (bounded && std::chrono::steady_clock::now() + delay >= deadline) {
+        return Status::DeadlineExceeded(
+            "retry budget exhausted after " + std::to_string(attempt) +
+            " attempt(s): " +
+            (last_transport.ok() ? std::string("server overloaded")
+                                 : last_transport.message()));
+      }
+      std::this_thread::sleep_for(delay);
+    }
+
+    Status conn = EnsureConnected();
+    if (!conn.ok()) {
+      if (!idempotent || !IsRetryable(conn)) return conn;
+      last_transport = std::move(conn);
+      continue;
+    }
+    StatusOr<Json> reply = Call(request);
+    if (!reply.ok()) {
+      // The stream is in an unknown state after any transport failure
+      // (half a response may be buffered); reconnect before retrying.
+      Disconnect();
+      if (!idempotent || !IsRetryable(reply.status())) return reply.status();
+      last_transport = reply.status();
+      continue;
+    }
+
+    // A parsed reply: retry only server-declared-transient errors
+    // ("Unavailable" = overload shedding / injected faults); everything
+    // else is the caller's answer.
+    const Json* ok_field = reply->Find("ok");
+    const bool server_ok =
+        ok_field != nullptr && ok_field->is_bool() && ok_field->AsBool();
+    if (!server_ok && idempotent && attempt + 1 < attempts) {
+      const Json* error = reply->Find("error");
+      const Json* code = error != nullptr ? error->Find("code") : nullptr;
+      if (code != nullptr && code->is_string() &&
+          code->AsString() == "Unavailable") {
+        last_error_reply = *std::move(reply);
+        continue;
+      }
+    }
+    return reply;
+  }
+  if (last_error_reply.has_value()) return *std::move(last_error_reply);
+  return last_transport;
+}
+
 StatusOr<std::string> Client::ReadLine() {
   for (;;) {
     const size_t newline = buffer_.find('\n');
@@ -73,8 +167,28 @@ StatusOr<std::string> Client::ReadLine() {
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      // Each transient transport failure gets its own message, but they
+      // are all kUnavailable — i.e. retryable (docs/SERVER.md taxonomy).
+      if (err == EAGAIN || err == EWOULDBLOCK) {
+        return Status::Unavailable(
+            "receive timed out waiting for response" +
+            std::string(buffer_.empty() ? "" : " (mid-response)"));
+      }
+      return Status::Unavailable(
+          std::string("recv: ") + std::strerror(err) +
+          (buffer_.empty() ? "" : " (mid-response)"));
+    }
+    if (n == 0) {
+      if (!buffer_.empty()) {
+        // The server died between framing and flushing a full line.
+        return Status::Unavailable(
+            "connection reset mid-response (short read: " +
+            std::to_string(buffer_.size()) +
+            " byte(s) buffered without a newline)");
+      }
       return Status::Unavailable("connection closed by server");
     }
     buffer_.append(chunk, static_cast<size_t>(n));

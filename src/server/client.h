@@ -1,6 +1,15 @@
-// Minimal blocking NDJSON client for pfqld: one TCP connection, one
-// request line out, one response line back. Shared by `pfql client`, the
-// integration tests, and bench_server.
+// Blocking NDJSON client for pfqld: one TCP connection, one request line
+// out, one response line back. Shared by `pfql client`, the integration
+// tests, and bench_server.
+//
+// Two calling conventions:
+//   * Call()/RoundTrip(): one shot, no retry — a transport error is the
+//     caller's problem;
+//   * CallWithRetry(): retries *idempotent* requests on transient transport
+//     errors (connection reset, short read, receive timeout) and on
+//     server-side overload shedding, with decorrelated-jitter backoff and
+//     automatic reconnect, per ClientOptions::retry. Non-idempotent
+//     requests and non-retryable errors fail fast on the first attempt.
 #ifndef PFQL_SERVER_CLIENT_H_
 #define PFQL_SERVER_CLIENT_H_
 
@@ -8,21 +17,30 @@
 #include <string>
 #include <string_view>
 
+#include "util/backoff.h"
 #include "util/json.h"
 #include "util/status.h"
 
 namespace pfql {
 namespace server {
 
+struct ClientOptions {
+  /// Retry schedule for CallWithRetry. The default (max_attempts = 1)
+  /// makes CallWithRetry behave exactly like Call.
+  RetryPolicy retry;
+};
+
 class Client {
  public:
   Client() = default;
+  explicit Client(const ClientOptions& options) : options_(options) {}
   ~Client() { Disconnect(); }
 
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects to 127.0.0.1:port.
+  /// Connects to 127.0.0.1:port. The port is remembered so CallWithRetry
+  /// can reconnect after a dropped connection.
   Status Connect(uint16_t port);
   void Disconnect();
   bool connected() const { return fd_ >= 0; }
@@ -34,10 +52,26 @@ class Client {
   /// RoundTrip + JSON parse of the response.
   StatusOr<Json> Call(const Json& request);
 
+  /// Call with retry, backoff, and reconnect per options().retry. Retries
+  /// only when the request's method is idempotent (IsIdempotent) and the
+  /// failure is retryable (IsRetryable): transport Unavailable — reset,
+  /// short read, refused reconnect, receive timeout — or a server error
+  /// response with code "Unavailable" (overload shedding). On exhaustion,
+  /// returns the last server error response if one was received, else the
+  /// last transport error; a retry schedule that would overrun
+  /// RetryPolicy::overall_deadline stops early with DeadlineExceeded.
+  StatusOr<Json> CallWithRetry(const Json& request);
+
+  const ClientOptions& options() const { return options_; }
+
  private:
   StatusOr<std::string> ReadLine();
+  /// Reconnects to the last-connected port if the connection is down.
+  Status EnsureConnected();
 
+  ClientOptions options_;
   int fd_ = -1;
+  uint16_t port_ = 0;
   std::string buffer_;
 };
 

@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "relational/text_io.h"
+#include "util/fault_injection.h"
 
 namespace pfql {
 namespace server {
@@ -78,6 +79,11 @@ StatusOr<DaemonOptions> ParseDaemonArgs(int argc, char** argv) {
     } else if (arg == "--data") {
       PFQL_ASSIGN_OR_RETURN(auto pair, SplitNameEqPath(value, "data"));
       options.data_files.push_back(std::move(pair));
+    } else if (arg == "--faults") {
+      options.faults = value;
+    } else if (arg == "--fault-seed") {
+      PFQL_ASSIGN_OR_RETURN(uint64_t v, ParseUint(value, "fault-seed"));
+      options.fault_seed = v;
     } else {
       return Status::InvalidArgument("unknown flag '" + arg + "'");
     }
@@ -86,6 +92,21 @@ StatusOr<DaemonOptions> ParseDaemonArgs(int argc, char** argv) {
 }
 
 int RunDaemon(const DaemonOptions& options) {
+  // Arm chaos faults before serving (PFQL_FAULTS is loaded separately on
+  // first registry access). A bad spec is a startup error, not a surprise.
+  if (!options.faults.empty()) {
+    Status status = fault::FaultRegistry::Instance().ArmFromSpec(
+        options.faults);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: --faults: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  if (options.fault_seed != 0) {
+    fault::FaultRegistry::Instance().SetSeed(options.fault_seed);
+  }
+
   QueryService service(options.service);
   for (const auto& [name, path] : options.program_files) {
     auto source = ReadFile(path);
@@ -139,6 +160,15 @@ int RunDaemon(const DaemonOptions& options) {
                  "Ctrl-C to stop\n",
                  options.service.workers, options.service.queue_capacity,
                  options.service.cache_entries);
+    const auto armed = fault::FaultRegistry::Instance().ArmedPoints();
+    if (!armed.empty()) {
+      std::fprintf(stderr, "%% CHAOS: %zu fault point(s) armed:",
+                   armed.size());
+      for (const auto& point : armed) {
+        std::fprintf(stderr, " %s", point.c_str());
+      }
+      std::fprintf(stderr, "\n");
+    }
   }
 
   int signo = 0;

@@ -21,6 +21,12 @@ struct DaemonOptions {
   /// name=path pairs preloaded into the registry before serving.
   std::vector<std::pair<std::string, std::string>> program_files;
   std::vector<std::pair<std::string, std::string>> data_files;
+  /// Fault-injection spec armed at startup (--faults; same grammar as the
+  /// PFQL_FAULTS environment variable). Empty = nothing armed here.
+  std::string faults;
+  /// Seed for probability-triggered faults (--fault-seed); applied after
+  /// `faults` is armed. 0 = keep the registry default.
+  uint64_t fault_seed = 0;
   /// Suppress the startup banner (the "listening on" line always prints —
   /// clients parse it to discover an ephemeral port).
   bool quiet = false;

@@ -1,5 +1,6 @@
 #include "server/executor.h"
 
+#include <cmath>
 #include <utility>
 
 #include "datalog/engine.h"
@@ -20,6 +21,22 @@ namespace {
 void SetProbability(const BigRational& p, Json* payload) {
   payload->Set("probability", p.ToString());
   payload->Set("probability_double", p.ToDouble());
+}
+
+// Degraded-response fields shared by the sampled kinds (schema in
+// docs/SERVER.md §degraded responses). The Hoeffding halfwidth
+// sqrt(ln(2/δ)/(2k)) is the absolute-error bound the k *completed* samples
+// still support at confidence 1 − δ — the honest replacement for the
+// requested epsilon.
+void SetDegradedSampling(const Status& interruption, size_t completed,
+                         double delta, Json* payload) {
+  payload->Set("degraded", true);
+  payload->Set("interrupted_by",
+               StatusCodeToString(interruption.code()));
+  payload->Set("ci_halfwidth",
+               std::sqrt(std::log(2.0 / delta) /
+                         (2.0 * static_cast<double>(completed))));
+  payload->Set("ci_confidence", 1.0 - delta);
 }
 
 StatusOr<Json> ExecuteRun(const Request& request,
@@ -62,6 +79,8 @@ StatusOr<Json> ExecuteApprox(const Request& request,
   params.delta = request.delta;
   params.threads = request.threads;
   params.cancel = cancel;
+  params.max_samples = request.max_samples;
+  params.allow_partial = request.allow_partial;
   Rng rng(request.seed);
   PFQL_ASSIGN_OR_RETURN(
       eval::ApproxResult r,
@@ -70,9 +89,46 @@ StatusOr<Json> ExecuteApprox(const Request& request,
   payload.Set("event", event.ToString());
   payload.Set("estimate", r.estimate);
   payload.Set("samples", r.samples);
+  payload.Set("samples_requested", r.samples_requested);
   payload.Set("total_steps", r.total_steps);
   payload.Set("epsilon", params.epsilon);
   payload.Set("delta", params.delta);
+  if (r.degraded) {
+    SetDegradedSampling(r.interruption, r.samples, params.delta, &payload);
+  } else {
+    payload.Set("degraded", false);
+  }
+  return payload;
+}
+
+// exact with fallback:"approx": when exact evaluation exhausts its node
+// budget or deadline, re-dispatch to Thm 4.3 sampling under the *same*
+// cancellation token — the sampler inherits whatever deadline remains and
+// returns a degraded partial estimate if that expires too. A hard failure
+// of the fallback reports the original exact error (the one the caller can
+// act on by raising max_nodes).
+StatusOr<Json> ExecuteExactWithFallback(const Request& request,
+                                        const datalog::Program& program,
+                                        const Instance& edb,
+                                        const QueryEvent& event,
+                                        const CancellationToken* cancel) {
+  StatusOr<Json> exact = ExecuteExact(request, program, edb, event, cancel);
+  if (exact.ok() || request.fallback != "approx") return exact;
+  const StatusCode code = exact.status().code();
+  if (code != StatusCode::kResourceExhausted &&
+      code != StatusCode::kDeadlineExceeded &&
+      code != StatusCode::kCancelled) {
+    return exact;
+  }
+  Request approx_request = request;
+  approx_request.allow_partial = true;
+  StatusOr<Json> approx =
+      ExecuteApprox(approx_request, program, edb, event, cancel);
+  if (!approx.ok()) return exact;
+  Json payload = std::move(approx).value();
+  payload.Set("degraded", true);
+  payload.Set("fallback_from", "exact");
+  payload.Set("fallback_reason", StatusCodeToString(code));
   return payload;
 }
 
@@ -111,6 +167,8 @@ StatusOr<Json> ExecuteMcmc(const Request& request,
   params.delta = request.delta;
   params.threads = request.threads;
   params.cancel = cancel;
+  params.max_samples = request.max_samples;
+  params.allow_partial = request.allow_partial;
   bool measured = false;
   if (request.burn_in.has_value()) {
     params.burn_in = *request.burn_in;
@@ -134,9 +192,15 @@ StatusOr<Json> ExecuteMcmc(const Request& request,
   payload.Set("event", event.ToString());
   payload.Set("estimate", r.estimate);
   payload.Set("samples", r.samples);
+  payload.Set("samples_requested", r.samples_requested);
   payload.Set("burn_in", params.burn_in);
   payload.Set("burn_in_measured", measured);
   payload.Set("total_steps", r.total_steps);
+  if (r.degraded) {
+    SetDegradedSampling(r.interruption, r.samples, params.delta, &payload);
+  } else {
+    payload.Set("degraded", false);
+  }
   return payload;
 }
 
@@ -171,6 +235,7 @@ StatusOr<Json> ExecuteTrajectory(const Request& request,
   params.steps = request.steps;
   params.runs = request.runs;
   params.cancel = cancel;
+  params.allow_partial = request.allow_partial;
   Rng rng(request.seed);
   PFQL_ASSIGN_OR_RETURN(
       eval::TrajectoryResult r,
@@ -179,9 +244,28 @@ StatusOr<Json> ExecuteTrajectory(const Request& request,
   Json payload = Json::Object();
   payload.Set("event", event.ToString());
   payload.Set("estimate", r.estimate);
-  payload.Set("runs", request.runs);
+  payload.Set("runs", r.per_run.size());
+  payload.Set("runs_requested", r.runs_requested);
   payload.Set("steps_per_run", request.steps);
   payload.Set("total_steps", r.total_steps);
+  if (r.degraded) {
+    // No Hoeffding bound for time averages; report a normal-approximation
+    // 95% CI over the completed per-run averages instead.
+    const size_t k = r.per_run.size();
+    double var = 0.0;
+    for (double avg : r.per_run) {
+      var += (avg - r.estimate) * (avg - r.estimate);
+    }
+    var = k > 1 ? var / static_cast<double>(k - 1) : 0.0;
+    payload.Set("degraded", true);
+    payload.Set("interrupted_by",
+                StatusCodeToString(r.interruption.code()));
+    payload.Set("ci_halfwidth",
+                1.96 * std::sqrt(var / static_cast<double>(k)));
+    payload.Set("ci_confidence", 0.95);
+  } else {
+    payload.Set("degraded", false);
+  }
   return payload;
 }
 
@@ -203,7 +287,7 @@ StatusOr<Json> ExecuteQuery(const Request& request,
                         datalog::ParseGroundAtom(request.event));
   switch (request.kind) {
     case RequestKind::kExact:
-      return ExecuteExact(request, program, edb, event, cancel);
+      return ExecuteExactWithFallback(request, program, edb, event, cancel);
     case RequestKind::kApprox:
       return ExecuteApprox(request, program, edb, event, cancel);
     case RequestKind::kForever:

@@ -7,6 +7,7 @@
 #include "analysis/analyzer.h"
 #include "relational/text_io.h"
 #include "server/executor.h"
+#include "util/fault_injection.h"
 
 namespace pfql {
 namespace server {
@@ -208,7 +209,13 @@ Response QueryService::ExecuteNow(const Request& request) {
                               *instance->instance,
                               token.has_value() ? &*token : nullptr);
   if (!payload.ok()) return fail(payload.status());
-  if (!request.no_cache) cache_.Insert(key, *payload);
+  // Degraded (partial) payloads are answers to *this* deadline, not to the
+  // query — caching one would serve a truncated estimate to callers with
+  // generous deadlines.
+  const Json* degraded = payload->Find("degraded");
+  const bool is_degraded =
+      degraded != nullptr && degraded->is_bool() && degraded->AsBool();
+  if (!request.no_cache && !is_degraded) cache_.Insert(key, *payload);
   response.result = *std::move(payload);
   response.elapsed_us = ElapsedUs(start);
   RecordOutcome(request, response);
@@ -243,6 +250,9 @@ Response QueryService::HandleControl(const Request& request) {
     }
     case RequestKind::kStats:
       response.result = StatsJson();
+      break;
+    case RequestKind::kHealth:
+      response.result = HealthJson();
       break;
     case RequestKind::kList: {
       Json payload = Json::Object();
@@ -375,6 +385,34 @@ Json QueryService::StatsJson() const {
     out.Set("programs", programs_.size());
     out.Set("instances", instances_.size());
   }
+  return out;
+}
+
+Json QueryService::HealthJson() const {
+  Json out = Json::Object();
+  const size_t queue_depth = pool_.QueueDepth();
+  const size_t active = pool_.ActiveCount();
+  const size_t workers = pool_.worker_count();
+  const size_t capacity = pool_.queue_capacity();
+  // "overloaded" = the next query-plane request would be shed;
+  // "busy" = it would queue behind a full worker set; "ok" otherwise.
+  const char* status = queue_depth >= capacity ? "overloaded"
+                       : active >= workers     ? "busy"
+                                               : "ok";
+  out.Set("status", status);
+  out.Set("workers", workers);
+  out.Set("active", active);
+  out.Set("queue_depth", queue_depth);
+  out.Set("queue_capacity", capacity);
+  out.Set("in_flight", active + queue_depth);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    out.Set("accepted", accepted_);
+    out.Set("rejected", rejected_);
+  }
+  out.Set("uptime_us", ElapsedUs(started_));
+  out.Set("cache_entries", cache_.GetStats().entries);
+  out.Set("faults", fault::FaultRegistry::Instance().SnapshotJson());
   return out;
 }
 

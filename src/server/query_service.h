@@ -75,6 +75,12 @@ class QueryService {
   /// cache hit rates, and registry names.
   Json StatsJson() const;
 
+  /// The `health` payload: a cheap overload snapshot for load balancers
+  /// and retrying clients — status ("ok"/"busy"/"overloaded"), queue and
+  /// in-flight gauges, and the armed fault-injection points (so a chaos
+  /// run is visible from the outside).
+  Json HealthJson() const;
+
  private:
   struct ProgramEntry {
     std::shared_ptr<const datalog::Program> program;

@@ -3,6 +3,7 @@
 #include <functional>
 #include <utility>
 
+#include "util/fault_injection.h"
 #include "util/string_util.h"
 
 namespace pfql {
@@ -19,6 +20,13 @@ size_t CacheKeyHash::operator()(const CacheKey& key) const {
 ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
 
 std::optional<Json> ResultCache::Lookup(const CacheKey& key) {
+  // Chaos hook: a forced miss exercises the recompute path for a key that
+  // is actually resident (cold-cache behavior on demand).
+  if (fault::InjectFault(fault::points::kCacheLookup)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    return std::nullopt;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
@@ -33,6 +41,14 @@ std::optional<Json> ResultCache::Lookup(const CacheKey& key) {
 
 void ResultCache::Insert(const CacheKey& key, Json payload) {
   if (capacity_ == 0) return;
+  // Chaos hook: a firing evicts every resident entry before the insert —
+  // the worst-case eviction storm consumers must tolerate.
+  if (fault::InjectFault(fault::points::kCacheEvict)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    evictions_ += lru_.size();
+    lru_.clear();
+    index_.clear();
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {

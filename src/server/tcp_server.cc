@@ -11,6 +11,8 @@
 #include <cstring>
 #include <string>
 
+#include "util/fault_injection.h"
+
 namespace pfql {
 namespace server {
 
@@ -35,6 +37,13 @@ bool WriteAll(int fd, const char* data, size_t size) {
 bool WriteResponseLine(int fd, const Response& response) {
   std::string line = SerializeResponse(response);
   line += '\n';
+  // Chaos hook: a firing sends only half the framed line and then reports
+  // the write as failed, so the server drops the connection mid-response.
+  // Clients observe a short read — the case their retry path must handle.
+  if (fault::InjectFault(fault::points::kTcpWrite)) {
+    WriteAll(fd, line.data(), line.size() / 2);
+    return false;
+  }
   return WriteAll(fd, line.data(), line.size());
 }
 
@@ -52,9 +61,25 @@ Status TcpServer::Start() {
   if (::pipe(stop_pipe_) != 0) {
     return Status::Internal(std::string("pipe: ") + std::strerror(errno));
   }
+  // On any failure past this point, close the fds opened so far so a failed
+  // Start() leaves the server restartable and leak-free.
+  auto fail = [this](Status status) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (int& fd : stop_pipe_) {
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    }
+    return status;
+  };
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
-    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+    return fail(
+        Status::Internal(std::string("socket: ") + std::strerror(errno)));
   }
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -65,18 +90,26 @@ Status TcpServer::Start() {
   addr.sin_port = htons(options_.port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
              sizeof(addr)) != 0) {
-    return Status::Unavailable("bind 127.0.0.1:" +
-                               std::to_string(options_.port) + ": " +
-                               std::strerror(errno));
+    const int bind_errno = errno;
+    if (bind_errno == EADDRINUSE) {
+      return fail(Status::Unavailable(
+          "port " + std::to_string(options_.port) +
+          " is already in use on 127.0.0.1 (is another pfqld running? "
+          "pick a different --port or stop the other server)"));
+    }
+    return fail(Status::Unavailable("bind 127.0.0.1:" +
+                                    std::to_string(options_.port) + ": " +
+                                    std::strerror(bind_errno)));
   }
   if (::listen(listen_fd_, options_.backlog) != 0) {
-    return Status::Internal(std::string("listen: ") + std::strerror(errno));
+    return fail(
+        Status::Internal(std::string("listen: ") + std::strerror(errno)));
   }
   socklen_t len = sizeof(addr);
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
       0) {
-    return Status::Internal(std::string("getsockname: ") +
-                            std::strerror(errno));
+    return fail(Status::Internal(std::string("getsockname: ") +
+                                 std::strerror(errno)));
   }
   port_ = ntohs(addr.sin_port);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
@@ -149,6 +182,9 @@ void TcpServer::ServeConnection(int fd) {
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
+    // Chaos hook: drop the connection after a successful read, before the
+    // request is processed — the peer sees an abrupt close with no reply.
+    if (fault::InjectFault(fault::points::kTcpRead)) break;
     buffer.append(chunk, static_cast<size_t>(n));
 
     size_t start = 0;

@@ -11,6 +11,8 @@ const char* RequestKindToString(RequestKind kind) {
       return "stats";
     case RequestKind::kList:
       return "list";
+    case RequestKind::kHealth:
+      return "health";
     case RequestKind::kRegisterProgram:
       return "register_program";
     case RequestKind::kRegisterInstance:
@@ -36,7 +38,8 @@ const char* RequestKindToString(RequestKind kind) {
 StatusOr<RequestKind> RequestKindFromString(std::string_view name) {
   static constexpr RequestKind kAll[] = {
       RequestKind::kPing,    RequestKind::kStats,
-      RequestKind::kList,    RequestKind::kRegisterProgram,
+      RequestKind::kList,    RequestKind::kHealth,
+      RequestKind::kRegisterProgram,
       RequestKind::kRegisterInstance,
       RequestKind::kRun,     RequestKind::kExact,
       RequestKind::kApprox,  RequestKind::kForever,
@@ -64,6 +67,15 @@ bool IsQueryKind(RequestKind kind) {
   }
 }
 
+bool IsIdempotent(RequestKind kind) {
+  // Queries are pure, register_* replaces by name (last write wins), and
+  // control reads carry no state — so today every kind is safe to resend.
+  // The function exists so a future mutating kind opts *out* here and the
+  // client retry gate picks that up automatically.
+  (void)kind;
+  return true;
+}
+
 namespace {
 
 bool NeedsEvent(RequestKind kind) {
@@ -86,7 +98,8 @@ std::string Request::CacheParams() const {
     case RequestKind::kApprox:
       out += ";eps=" + std::to_string(epsilon) +
              ";delta=" + std::to_string(delta) +
-             ";seed=" + std::to_string(seed);
+             ";seed=" + std::to_string(seed) +
+             ";max_samples=" + std::to_string(max_samples);
       break;
     case RequestKind::kForever:
     case RequestKind::kPartition:
@@ -97,7 +110,8 @@ std::string Request::CacheParams() const {
              ";delta=" + std::to_string(delta) +
              ";seed=" + std::to_string(seed) + ";burn_in=" +
              (burn_in.has_value() ? std::to_string(*burn_in) : "auto") +
-             ";max_states=" + std::to_string(max_states);
+             ";max_states=" + std::to_string(max_states) +
+             ";max_samples=" + std::to_string(max_samples);
       break;
     case RequestKind::kTrajectory:
       out += ";steps=" + std::to_string(steps) +
@@ -172,6 +186,25 @@ StatusOr<Request> ParseRequest(const Json& json) {
     return Status::InvalidArgument("field 'timeout_ms' must be >= 0");
   }
   PFQL_ASSIGN_OR_RETURN(request.no_cache, json.GetBool("no_cache", false));
+
+  PFQL_ASSIGN_OR_RETURN(int64_t max_samples, json.GetInt("max_samples", 0));
+  if (max_samples < 0) {
+    return Status::InvalidArgument("field 'max_samples' must be >= 0");
+  }
+  request.max_samples = static_cast<size_t>(max_samples);
+  PFQL_ASSIGN_OR_RETURN(request.allow_partial,
+                        json.GetBool("allow_partial", true));
+  PFQL_ASSIGN_OR_RETURN(request.fallback, json.GetString("fallback", ""));
+  if (!request.fallback.empty()) {
+    if (request.fallback != "approx") {
+      return Status::InvalidArgument(
+          "field 'fallback' must be \"approx\" (or omitted)");
+    }
+    if (request.kind != RequestKind::kExact) {
+      return Status::InvalidArgument(
+          "'fallback' only applies to method 'exact'");
+    }
+  }
 
   // Kind-specific shape checks, so mistakes fail fast at the front door
   // rather than deep inside an evaluator.

@@ -25,6 +25,7 @@ enum class RequestKind {
   kPing,
   kStats,
   kList,
+  kHealth,  ///< overload / queue-depth / fault snapshot (load balancers)
   kRegisterProgram,
   kRegisterInstance,
   // Query plane (the paper's algorithm suite).
@@ -41,6 +42,11 @@ const char* RequestKindToString(RequestKind kind);
 StatusOr<RequestKind> RequestKindFromString(std::string_view name);
 /// True for the kinds executed on the worker pool (kRun..kTrajectory).
 bool IsQueryKind(RequestKind kind);
+/// True when retrying the request cannot change server state — the gate the
+/// client-side retry loop checks before resending after a transport error.
+/// Every current kind qualifies: queries are pure, registrations replace by
+/// name (last write wins), control reads are stateless.
+bool IsIdempotent(RequestKind kind);
 
 /// A parsed request. Field applicability by kind is documented in
 /// docs/SERVER.md; ParseRequest validates the combination.
@@ -78,6 +84,16 @@ struct Request {
   int64_t timeout_ms = 0;
   /// Bypass the result cache for this request.
   bool no_cache = false;
+  /// Sampled kinds: overrides the Hoeffding sample budget when > 0.
+  size_t max_samples = 0;
+  /// Sampled kinds: return a degraded partial estimate instead of an error
+  /// when the deadline fires mid-sampling. On by default at the wire layer
+  /// (a server client prefers a partial answer over a timeout).
+  bool allow_partial = true;
+  /// "exact" only: "approx" re-dispatches to Thm 4.3 sampling with the
+  /// remaining deadline when exact evaluation exhausts its budget. Empty =
+  /// no fallback.
+  std::string fallback;
 
   /// Canonical parameter fingerprint for the result cache: every field
   /// that affects the result value for this kind (event, budgets, seed for

@@ -1,0 +1,21 @@
+#include "util/backoff.h"
+
+#include <algorithm>
+
+namespace pfql {
+
+std::chrono::milliseconds Backoff::NextDelay() {
+  const int64_t base = std::max<int64_t>(1, policy_.initial_backoff.count());
+  const int64_t cap = std::max<int64_t>(base, policy_.max_backoff.count());
+  // Decorrelated jitter: uniform in [base, 3 * previous], capped.
+  const int64_t upper =
+      std::min(cap, std::max(base, 3 * previous_.count()));
+  const int64_t span = upper - base + 1;
+  const int64_t delay =
+      base + static_cast<int64_t>(rng_.NextIndex(
+                 static_cast<uint64_t>(span)));
+  previous_ = std::chrono::milliseconds(delay);
+  return previous_;
+}
+
+}  // namespace pfql

@@ -1,0 +1,69 @@
+// Retry policy and backoff schedule for clients of the query service.
+// Exponential backoff with *decorrelated jitter* (Van den Bossche / AWS
+// architecture blog): each delay is drawn uniformly from
+// [initial_backoff, 3 * previous_delay], capped at max_backoff. Compared
+// to plain exponential-with-jitter this spreads retry storms from many
+// synchronized clients while still ramping down pressure quickly. The
+// jitter stream is seeded, so a fixed seed reproduces the same schedule.
+#ifndef PFQL_UTIL_BACKOFF_H_
+#define PFQL_UTIL_BACKOFF_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace pfql {
+
+/// How a client retries an idempotent request. The defaults do not retry
+/// at all (max_attempts = 1); callers opt in.
+struct RetryPolicy {
+  /// Total attempts, including the first (1 = no retry).
+  int max_attempts = 1;
+  /// Base (and minimum) backoff delay.
+  std::chrono::milliseconds initial_backoff{50};
+  /// Cap on any single backoff delay.
+  std::chrono::milliseconds max_backoff{2000};
+  /// Budget across all attempts and sleeps; 0 = unlimited. When the next
+  /// sleep would cross this deadline the client gives up with
+  /// DeadlineExceeded instead of sleeping.
+  std::chrono::milliseconds overall_deadline{0};
+  /// Receive timeout applied to each attempt's socket read; 0 = none.
+  /// A timed-out read surfaces as a retryable Unavailable.
+  std::chrono::milliseconds attempt_timeout{0};
+  /// Seed of the jitter stream (fixed seed = reproducible schedule).
+  uint64_t jitter_seed = 0x5eedbacc0ffULL;
+};
+
+/// The delay generator: NextDelay() yields the sleep before the next
+/// attempt, following the decorrelated-jitter recurrence.
+class Backoff {
+ public:
+  explicit Backoff(const RetryPolicy& policy)
+      : policy_(policy), rng_(policy.jitter_seed) { Reset(); }
+
+  /// Delay to sleep before the next retry; in
+  /// [initial_backoff, max_backoff] always.
+  std::chrono::milliseconds NextDelay();
+
+  /// Restarts the schedule (e.g. after a success on a long-lived client).
+  void Reset() { previous_ = policy_.initial_backoff; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  std::chrono::milliseconds previous_{0};
+};
+
+/// True for errors a retry can plausibly cure: kUnavailable, the code used
+/// for overload shedding, transient socket failures, and injected faults.
+/// Everything else (bad requests, budget exhaustion, malformed replies)
+/// fails fast.
+inline bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace pfql
+
+#endif  // PFQL_UTIL_BACKOFF_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/fault_injection.h"
+
 namespace pfql {
 
 ThreadPool::ThreadPool(size_t workers, size_t queue_capacity)
@@ -24,6 +26,9 @@ ThreadPool::~ThreadPool() {
 }
 
 bool ThreadPool::TrySubmit(std::function<void()> task) {
+  // Chaos hook: a refused submission is indistinguishable from a full
+  // queue, so callers' overload handling can be provoked on demand.
+  if (fault::InjectFault(fault::points::kPoolSubmit)) return false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_ || queue_.size() >= queue_capacity_) return false;
@@ -60,6 +65,9 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
+    // Chaos hook: armed with a delay spec this stalls the worker before the
+    // task runs (slow-worker simulation for deadline/queueing tests).
+    fault::InjectFault(fault::points::kPoolRun);
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -9,7 +9,8 @@ namespace {
 TEST(WireTest, KindStringsRoundTrip) {
   for (RequestKind kind :
        {RequestKind::kPing, RequestKind::kStats, RequestKind::kList,
-        RequestKind::kRegisterProgram, RequestKind::kRegisterInstance,
+        RequestKind::kHealth, RequestKind::kRegisterProgram,
+        RequestKind::kRegisterInstance,
         RequestKind::kRun, RequestKind::kExact, RequestKind::kApprox,
         RequestKind::kForever, RequestKind::kMcmc, RequestKind::kPartition,
         RequestKind::kTrajectory}) {
@@ -24,7 +25,29 @@ TEST(WireTest, QueryKindClassification) {
   EXPECT_TRUE(IsQueryKind(RequestKind::kExact));
   EXPECT_TRUE(IsQueryKind(RequestKind::kRun));
   EXPECT_FALSE(IsQueryKind(RequestKind::kPing));
+  EXPECT_FALSE(IsQueryKind(RequestKind::kHealth));
   EXPECT_FALSE(IsQueryKind(RequestKind::kRegisterProgram));
+}
+
+TEST(WireTest, EveryKindIsCurrentlyIdempotent) {
+  // The retry gate: queries are pure, registrations replace by name. If a
+  // mutating kind is ever added it must return false here and this test
+  // must enumerate it.
+  for (RequestKind kind :
+       {RequestKind::kPing, RequestKind::kStats, RequestKind::kList,
+        RequestKind::kHealth, RequestKind::kRegisterProgram,
+        RequestKind::kRegisterInstance, RequestKind::kRun,
+        RequestKind::kExact, RequestKind::kApprox, RequestKind::kForever,
+        RequestKind::kMcmc, RequestKind::kPartition,
+        RequestKind::kTrajectory}) {
+    EXPECT_TRUE(IsIdempotent(kind)) << RequestKindToString(kind);
+  }
+}
+
+TEST(WireTest, ParsesHealth) {
+  auto request = ParseRequestLine("{\"method\":\"health\"}");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->kind, RequestKind::kHealth);
 }
 
 TEST(WireTest, ParsesMinimalPing) {
@@ -50,6 +73,38 @@ TEST(WireTest, ParsesQueryWithDefaults) {
   EXPECT_EQ(request->timeout_ms, 0);
   EXPECT_FALSE(request->no_cache);
   EXPECT_FALSE(request->burn_in.has_value());
+  EXPECT_EQ(request->max_samples, 0u);
+  EXPECT_TRUE(request->allow_partial);  // wire default: partial over error
+  EXPECT_TRUE(request->fallback.empty());
+}
+
+TEST(WireTest, ParsesDegradationControls) {
+  auto request = ParseRequestLine(
+      "{\"method\":\"approx\",\"program_text\":\"p(0).\","
+      "\"event\":\"p(0)\",\"max_samples\":500,\"allow_partial\":false}");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->max_samples, 500u);
+  EXPECT_FALSE(request->allow_partial);
+
+  auto fallback = ParseRequestLine(
+      "{\"method\":\"exact\",\"program_text\":\"p(0).\","
+      "\"event\":\"p(0)\",\"fallback\":\"approx\"}");
+  ASSERT_TRUE(fallback.ok()) << fallback.status().ToString();
+  EXPECT_EQ(fallback->fallback, "approx");
+
+  // fallback is exact-only and must name a known strategy.
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"approx\",\"program_text\":\"p(0).\","
+                   "\"event\":\"p(0)\",\"fallback\":\"approx\"}")
+                   .ok());
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"exact\",\"program_text\":\"p(0).\","
+                   "\"event\":\"p(0)\",\"fallback\":\"guess\"}")
+                   .ok());
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"approx\",\"program_text\":\"p(0).\","
+                   "\"event\":\"p(0)\",\"max_samples\":-3}")
+                   .ok());
 }
 
 TEST(WireTest, BurnInAcceptsNumberAndAuto) {
@@ -151,6 +206,16 @@ TEST(WireTest, CacheParamsKeysValueAffectingBudgets) {
   Request d = QueryRequest(RequestKind::kExact);
   d.threads = 8;
   EXPECT_NE(c.CacheParams(), d.CacheParams());
+}
+
+TEST(WireTest, CacheParamsKeysSampleBudgetForSampledKinds) {
+  for (RequestKind kind : {RequestKind::kApprox, RequestKind::kMcmc}) {
+    Request a = QueryRequest(kind);
+    Request b = QueryRequest(kind);
+    b.max_samples = 100;
+    EXPECT_NE(a.CacheParams(), b.CacheParams())
+        << RequestKindToString(kind);
+  }
 }
 
 TEST(WireTest, CacheParamsIgnoresDeadline) {

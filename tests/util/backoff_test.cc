@@ -1,0 +1,91 @@
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pfql {
+namespace {
+
+TEST(BackoffTest, DelaysStayWithinBaseAndCap) {
+  RetryPolicy policy;
+  policy.initial_backoff = std::chrono::milliseconds(10);
+  policy.max_backoff = std::chrono::milliseconds(200);
+  Backoff backoff(policy);
+  for (int i = 0; i < 100; ++i) {
+    const auto delay = backoff.NextDelay();
+    EXPECT_GE(delay.count(), 10);
+    EXPECT_LE(delay.count(), 200);
+  }
+}
+
+TEST(BackoffTest, DecorrelatedJitterRampsFromTheBase) {
+  RetryPolicy policy;
+  policy.initial_backoff = std::chrono::milliseconds(100);
+  policy.max_backoff = std::chrono::milliseconds(100000);
+  Backoff backoff(policy);
+  // First delay is drawn from [base, 3*base].
+  const auto first = backoff.NextDelay();
+  EXPECT_GE(first.count(), 100);
+  EXPECT_LE(first.count(), 300);
+  // The next is bounded by 3x whatever was just drawn.
+  const auto second = backoff.NextDelay();
+  EXPECT_LE(second.count(), 3 * first.count());
+}
+
+TEST(BackoffTest, SameSeedSameSchedule) {
+  RetryPolicy policy;
+  policy.jitter_seed = 7;
+  auto draw = [&] {
+    Backoff backoff(policy);
+    std::vector<int64_t> delays;
+    for (int i = 0; i < 16; ++i) delays.push_back(backoff.NextDelay().count());
+    return delays;
+  };
+  EXPECT_EQ(draw(), draw());
+}
+
+TEST(BackoffTest, DifferentSeedsDiverge) {
+  RetryPolicy a;
+  a.jitter_seed = 1;
+  RetryPolicy b;
+  b.jitter_seed = 2;
+  Backoff ba(a), bb(b);
+  bool diverged = false;
+  for (int i = 0; i < 16 && !diverged; ++i) {
+    diverged = ba.NextDelay() != bb.NextDelay();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, ResetRestartsTheRamp) {
+  RetryPolicy policy;
+  policy.initial_backoff = std::chrono::milliseconds(50);
+  policy.max_backoff = std::chrono::milliseconds(100000);
+  Backoff backoff(policy);
+  for (int i = 0; i < 8; ++i) backoff.NextDelay();  // ramp up
+  backoff.Reset();
+  const auto after_reset = backoff.NextDelay();
+  EXPECT_LE(after_reset.count(), 150);  // back to [base, 3*base]
+}
+
+TEST(BackoffTest, DegenerateCapClampsToBase) {
+  RetryPolicy policy;
+  policy.initial_backoff = std::chrono::milliseconds(20);
+  policy.max_backoff = std::chrono::milliseconds(5);  // cap below base
+  Backoff backoff(policy);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(backoff.NextDelay().count(), 20);
+  }
+}
+
+TEST(BackoffTest, RetryableCodes) {
+  EXPECT_TRUE(IsRetryable(Status::Unavailable("overloaded")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("bad request")));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("too slow")));
+  EXPECT_FALSE(IsRetryable(Status::ResourceExhausted("budget")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+}
+
+}  // namespace
+}  // namespace pfql

@@ -53,7 +53,10 @@ int Usage() {
       "            --program FILE [--data FILE] [--event 'rel(v, ...)']\n"
       "            [--epsilon E] [--delta D] [--seed N] [--threads N]\n"
       "            [--max-states N] [--max-nodes N] [--burn-in N|auto]\n"
-      "            [--steps N] [--runs N] [--timeout-ms N] [--json]\n");
+      "            [--steps N] [--runs N] [--timeout-ms N] [--json]\n"
+      "            [--max-samples N] [--fallback approx]\n"
+      "       pfql client --port N [--request '<json>'] [--retries N]\n"
+      "            [--max-backoff-ms N] [--attempt-timeout-ms N]\n");
   return 2;
 }
 
@@ -133,8 +136,37 @@ bool GetBool(const Json& payload, const char* key) {
   return v != nullptr && v->is_bool() && v->AsBool();
 }
 
+// Degraded responses (docs/SERVER.md): the estimate covers only the work
+// completed before the deadline/fault; say so loudly in human output.
+void PrintDegradedNote(const Json& payload) {
+  if (!GetBool(payload, "degraded")) return;
+  const std::string from = GetString(payload, "fallback_from");
+  if (!from.empty()) {
+    std::printf("%% DEGRADED: fell back from %s (%s) to sampling\n",
+                from.c_str(), GetString(payload, "fallback_reason").c_str());
+  }
+  const std::string why = GetString(payload, "interrupted_by");
+  if (!why.empty()) {
+    std::printf(
+        "%% DEGRADED: interrupted by %s; partial estimate "
+        "(+/- %.4f at %.0f%% confidence)\n",
+        why.c_str(), GetDouble(payload, "ci_halfwidth"),
+        100.0 * GetDouble(payload, "ci_confidence"));
+  }
+}
+
 void PrintHumanResult(server::RequestKind kind, const Json& payload) {
   const std::string event = GetString(payload, "event");
+  if (kind == server::RequestKind::kExact &&
+      !GetString(payload, "fallback_from").empty()) {
+    // exact --fallback approx produced a sampling payload, not an exact one.
+    PrintDegradedNote(payload);
+    std::printf("Pr[%s] ~= %.6f  (%lld samples)\n", event.c_str(),
+                GetDouble(payload, "estimate"),
+                static_cast<long long>(GetInt(payload, "samples")));
+    return;
+  }
+  PrintDegradedNote(payload);
   switch (kind) {
     case server::RequestKind::kRun:
       std::printf("%% fixpoint after %lld steps\n%s",
@@ -230,13 +262,44 @@ int RunParse(const Args& args, const std::string& program_text) {
 
 int RunClient(const Args& args) {
   if (!args.Has("port")) return Usage();
-  server::Client client;
+  server::ClientOptions options;
+  int retries = 0;
+  try {
+    retries = std::stoi(args.Get("retries", "0"));
+    if (retries < 0) retries = 0;
+    options.retry.max_attempts = retries + 1;
+    options.retry.max_backoff =
+        std::chrono::milliseconds(std::stoll(args.Get("max-backoff-ms",
+                                                      "2000")));
+    options.retry.attempt_timeout = std::chrono::milliseconds(
+        std::stoll(args.Get("attempt-timeout-ms", "0")));
+  } catch (const std::exception&) {
+    return Fail(Status::InvalidArgument("malformed numeric flag value"),
+                args, "client");
+  }
+  server::Client client(options);
   Status status = client.Connect(
       static_cast<uint16_t>(std::stoul(args.Get("port", "0"))));
   if (!status.ok()) return Fail(status, args, "client");
 
   int exit_code = 0;
   auto round_trip = [&](const std::string& line) {
+    // With --retries, parsed requests go through the retrying path
+    // (reconnect + backoff on Unavailable); anything unparseable is sent
+    // raw, once, so the server's parse error still comes back verbatim.
+    if (retries > 0) {
+      if (auto request = Json::Parse(line); request.ok()) {
+        auto response = client.CallWithRetry(*request);
+        if (!response.ok()) {
+          exit_code = Fail(response.status(), args, "client");
+          return false;
+        }
+        std::printf("%s\n", response->Dump().c_str());
+        const Json* ok = response->Find("ok");
+        if (ok != nullptr && ok->is_bool() && !ok->AsBool()) exit_code = 1;
+        return true;
+      }
+    }
     auto response = client.RoundTrip(line);
     if (!response.ok()) {
       exit_code = Fail(response.status(), args, "client");
@@ -319,11 +382,21 @@ int main(int argc, char** argv) {
     request.runs = std::stoull(args.Get("runs", "16"));
     request.threads = std::stoull(args.Get("threads", "1"));
     request.timeout_ms = std::stoll(args.Get("timeout-ms", "0"));
+    request.max_samples = std::stoull(args.Get("max-samples", "0"));
     const std::string burn = args.Get("burn-in", "auto");
     if (burn != "auto") request.burn_in = std::stoull(burn);
   } catch (const std::exception&) {
     return Fail(Status::InvalidArgument("malformed numeric flag value"),
                 args, args.mode);
+  }
+  if (args.Has("fallback")) {
+    request.fallback = args.Get("fallback", "");
+    if (request.fallback != "approx" ||
+        request.kind != server::RequestKind::kExact) {
+      return Fail(Status::InvalidArgument(
+                      "--fallback approx is only valid with 'exact'"),
+                  args, args.mode);
+    }
   }
 
   auto program = datalog::ParseProgram(request.program_text);

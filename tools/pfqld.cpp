@@ -5,7 +5,7 @@
 //
 //   pfqld [--port N] [--workers N] [--queue N] [--cache N]
 //         [--timeout-ms N] [--program NAME=FILE]... [--data NAME=FILE]...
-//         [--quiet]
+//         [--faults SPEC] [--fault-seed N] [--quiet]
 //
 //   --port N          listen port on 127.0.0.1 (0 = ephemeral; the actual
 //                     port is printed as "pfqld listening on 127.0.0.1:P")
@@ -16,9 +16,13 @@
 //   --timeout-ms N    default per-request deadline (0 = none)
 //   --program NAME=F  pre-parse and pre-lint a program into the registry
 //   --data NAME=F     pre-load an instance into the registry
+//   --faults SPEC     arm fault-injection points for chaos testing, e.g.
+//                     "server.tcp.write=p0.1,util.thread_pool.run=p0.5:20"
+//                     (same grammar as the PFQL_FAULTS env variable)
+//   --fault-seed N    seed for probability-triggered faults
 //
 // Runs until SIGINT/SIGTERM. Exit status: 0 clean shutdown, 1 startup
-// failure, 2 usage error.
+// failure (including port already in use), 2 usage error.
 #include <cstdio>
 
 #include "server/daemon.h"
@@ -28,7 +32,8 @@ int Usage() {
                "usage: pfqld [--port N] [--workers N] [--queue N] "
                "[--cache N]\n"
                "             [--timeout-ms N] [--program NAME=FILE]...\n"
-               "             [--data NAME=FILE]... [--quiet]\n");
+               "             [--data NAME=FILE]... [--faults SPEC]\n"
+               "             [--fault-seed N] [--quiet]\n");
   return 2;
 }
 
