@@ -1,11 +1,14 @@
 #include "eval/inflationary.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <thread>
 
 #include "util/fault_injection.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace pfql {
 namespace eval {
@@ -146,16 +149,24 @@ StatusOr<ApproxResult> RunSamples(
   std::vector<size_t> shares(workers, result.samples_requested / workers);
   for (size_t w = 0; w < result.samples_requested % workers; ++w) ++shares[w];
 
+  const auto started = std::chrono::steady_clock::now();
   if (workers == 1) {
+    trace::Span worker_span("approx.worker");
     RunWorker(program, event, shares[0], rng->Fork(), draw_world,
               params.cancel, params.allow_partial, &tallies[0]);
   } else {
+    // Sampler threads join the request's trace (one "approx.worker" span
+    // each) by installing the spawning thread's context.
+    const trace::Context ctx = trace::Current();
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
-      pool.emplace_back(RunWorker, std::cref(program), std::cref(event),
-                        shares[w], rng->Fork(), std::cref(draw_world),
-                        params.cancel, params.allow_partial, &tallies[w]);
+      pool.emplace_back([&, w, rng_fork = rng->Fork()]() mutable {
+        trace::ScopedContext sc(ctx);
+        trace::Span worker_span("approx.worker");
+        RunWorker(program, event, shares[w], std::move(rng_fork), draw_world,
+                  params.cancel, params.allow_partial, &tallies[w]);
+      });
     }
     for (auto& t : pool) t.join();
   }
@@ -170,6 +181,25 @@ StatusOr<ApproxResult> RunSamples(
       result.interruption = tally.interruption;
     }
   }
+
+  auto& registry = metrics::MetricRegistry::Instance();
+  static metrics::Counter* const samples_counter =
+      registry.GetCounter("pfql_sampler_samples_total", "kind=\"approx\"");
+  static metrics::Counter* const steps_counter =
+      registry.GetCounter("pfql_sampler_steps_total", "kind=\"approx\"");
+  static metrics::Gauge* const rate_gauge =
+      registry.GetGauge("pfql_sampler_samples_per_sec", "kind=\"approx\"");
+  samples_counter->Increment(result.samples);
+  steps_counter->Increment(result.total_steps);
+  const int64_t elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  if (elapsed_us > 0 && result.samples > 0) {
+    rate_gauge->Set(static_cast<int64_t>(result.samples) * 1000000 /
+                    elapsed_us);
+  }
+
   if (!result.interruption.ok()) {
     // An interruption with nothing completed is still a failure — there is
     // no estimate to degrade to.

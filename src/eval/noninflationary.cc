@@ -1,10 +1,13 @@
 #include "eval/noninflationary.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <thread>
 
 #include "util/fault_injection.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace pfql {
 namespace eval {
@@ -129,16 +132,22 @@ StatusOr<McmcResult> McmcForever(const ForeverQuery& query,
   std::vector<size_t> shares(workers, result.samples_requested / workers);
   for (size_t w = 0; w < result.samples_requested % workers; ++w) ++shares[w];
 
+  const auto started = std::chrono::steady_clock::now();
   if (workers == 1) {
+    trace::Span worker_span("mcmc.worker");
     McmcWorker(query, initial, shares[0], params.burn_in, params.cancel,
                params.allow_partial, rng->Fork(), &tallies[0]);
   } else {
+    const trace::Context ctx = trace::Current();
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (size_t w = 0; w < workers; ++w) {
-      pool.emplace_back(McmcWorker, std::cref(query), std::cref(initial),
-                        shares[w], params.burn_in, params.cancel,
-                        params.allow_partial, rng->Fork(), &tallies[w]);
+      pool.emplace_back([&, w, rng_fork = rng->Fork()]() mutable {
+        trace::ScopedContext sc(ctx);
+        trace::Span worker_span("mcmc.worker");
+        McmcWorker(query, initial, shares[w], params.burn_in, params.cancel,
+                   params.allow_partial, std::move(rng_fork), &tallies[w]);
+      });
     }
     for (auto& t : pool) t.join();
   }
@@ -153,6 +162,25 @@ StatusOr<McmcResult> McmcForever(const ForeverQuery& query,
       result.interruption = tally.interruption;
     }
   }
+
+  auto& registry = metrics::MetricRegistry::Instance();
+  static metrics::Counter* const samples_counter =
+      registry.GetCounter("pfql_sampler_samples_total", "kind=\"mcmc\"");
+  static metrics::Counter* const steps_counter =
+      registry.GetCounter("pfql_sampler_steps_total", "kind=\"mcmc\"");
+  static metrics::Gauge* const rate_gauge =
+      registry.GetGauge("pfql_sampler_samples_per_sec", "kind=\"mcmc\"");
+  samples_counter->Increment(result.samples);
+  steps_counter->Increment(result.total_steps);
+  const int64_t elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  if (elapsed_us > 0 && result.samples > 0) {
+    rate_gauge->Set(static_cast<int64_t>(result.samples) * 1000000 /
+                    elapsed_us);
+  }
+
   if (!result.interruption.ok()) {
     if (result.samples == 0) return result.interruption;
     result.degraded = true;

@@ -1,9 +1,31 @@
 #include "eval/trajectory.h"
 
 #include "util/fault_injection.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace pfql {
 namespace eval {
+
+namespace {
+
+// Counts finished runs/steps once at return so the hot per-step loop stays
+// untouched; a scope guard catches every exit path (including errors).
+struct TrajectoryMetricsGuard {
+  const TrajectoryResult* result;
+  ~TrajectoryMetricsGuard() {
+    auto& registry = metrics::MetricRegistry::Instance();
+    static metrics::Counter* const runs_counter =
+        registry.GetCounter("pfql_trajectory_runs_total");
+    static metrics::Counter* const steps_counter =
+        registry.GetCounter("pfql_sampler_steps_total",
+                            "kind=\"trajectory\"");
+    runs_counter->Increment(result->per_run.size());
+    steps_counter->Increment(result->total_steps);
+  }
+};
+
+}  // namespace
 
 StatusOr<TrajectoryResult> TimeAverageEstimate(const Interpretation& kernel,
                                                const Instance& initial,
@@ -21,7 +43,9 @@ StatusOr<TrajectoryResult> TimeAverageEstimate(const Interpretation& kernel,
       static_cast<size_t>(params.discard_fraction *
                           static_cast<double>(params.steps));
 
+  trace::Span span("trajectory.sample");
   TrajectoryResult result;
+  TrajectoryMetricsGuard metrics_guard{&result};
   result.runs_requested = params.runs;
   result.per_run.reserve(params.runs);
   CancelPoller poller(params.cancel);

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "util/fault_injection.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace pfql {
 
@@ -93,6 +95,14 @@ std::vector<bool> StateSpace::EventStates(const QueryEvent& event) const {
 StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
                                      const Instance& initial,
                                      const StateSpaceOptions& options) {
+  trace::Span span("state_space.build");
+  static metrics::Counter* const states_counter =
+      metrics::MetricRegistry::Instance().GetCounter(
+          "pfql_state_space_states_total");
+  static metrics::Counter* const waves_counter =
+      metrics::MetricRegistry::Instance().GetCounter(
+          "pfql_state_space_waves_total");
+
   StateSpace space;
   space.index.Intern(initial, &space.states);
 
@@ -113,6 +123,8 @@ StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
   while (wave_begin < space.states.size()) {
     const size_t wave_end = space.states.size();
     results.assign(wave_end - wave_begin, std::nullopt);
+    waves_counter->Increment();
+    trace::Span wave_span("state_space.wave");
     ExpandWave(q, space.states, wave_begin, wave_end, options, &results);
 
     for (size_t k = 0; k < results.size(); ++k) {
@@ -138,6 +150,7 @@ StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
     wave_begin = wave_end;
   }
 
+  states_counter->Increment(space.states.size());
   space.chain = MarkovChain(space.states.size());
   for (auto& e : edges) {
     PFQL_RETURN_NOT_OK(space.chain.AddTransition(e.from, e.to, std::move(e.p)));

@@ -53,6 +53,10 @@ StatusOr<DaemonOptions> ParseDaemonArgs(int argc, char** argv) {
       options.quiet = true;
       continue;
     }
+    if (arg == "--log-json") {
+      options.log_json = true;
+      continue;
+    }
     if (i + 1 >= argc) {
       return Status::InvalidArgument("missing value for " + arg);
     }
@@ -107,7 +111,15 @@ int RunDaemon(const DaemonOptions& options) {
     fault::FaultRegistry::Instance().SetSeed(options.fault_seed);
   }
 
-  QueryService service(options.service);
+  ServiceOptions service_options = options.service;
+  if (options.log_json && !service_options.log_sink) {
+    // One Dump() per request; a single fprintf keeps concurrent request
+    // lines from interleaving mid-line (POSIX stdio locks per call).
+    service_options.log_sink = [](const Json& line) {
+      std::fprintf(stderr, "%s\n", line.Dump().c_str());
+    };
+  }
+  QueryService service(service_options);
   for (const auto& [name, path] : options.program_files) {
     auto source = ReadFile(path);
     if (!source.ok()) {

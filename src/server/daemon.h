@@ -30,6 +30,9 @@ struct DaemonOptions {
   /// Suppress the startup banner (the "listening on" line always prints —
   /// clients parse it to discover an ephemeral port).
   bool quiet = false;
+  /// Emit one structured JSON log line per served request on stderr
+  /// (--log-json; schema in docs/OBSERVABILITY.md).
+  bool log_json = false;
 };
 
 /// Parses daemon flags (see tools/pfqld.cpp for the list); `argv[0]` is the

@@ -11,12 +11,25 @@
 #include "eval/partition.h"
 #include "eval/trajectory.h"
 #include "relational/text_io.h"
+#include "util/metrics.h"
 #include "util/random.h"
+#include "util/trace.h"
 
 namespace pfql {
 namespace server {
 
 namespace {
+
+// One counter bump per degraded (partial) result, labeled by evaluator
+// kind and by what cut the evaluation short (deadline_exceeded, cancelled,
+// unavailable for injected faults, ...).
+void CountDegraded(const char* kind, StatusCode cause) {
+  const std::string labels = std::string("kind=\"") + kind + "\",cause=\"" +
+                             StatusCodeToString(cause) + '"';
+  metrics::MetricRegistry::Instance()
+      .GetCounter("pfql_sampler_degraded_total", labels)
+      ->Increment();
+}
 
 void SetProbability(const BigRational& p, Json* payload) {
   payload->Set("probability", p.ToString());
@@ -63,6 +76,10 @@ StatusOr<Json> ExecuteExact(const Request& request,
   PFQL_ASSIGN_OR_RETURN(
       BigRational p,
       eval::ExactInflationary(program, edb, event, options, &nodes));
+  static metrics::Counter* const nodes_counter =
+      metrics::MetricRegistry::Instance().GetCounter(
+          "pfql_exact_nodes_total");
+  nodes_counter->Increment(nodes);
   Json payload = Json::Object();
   payload.Set("event", event.ToString());
   SetProbability(p, &payload);
@@ -94,6 +111,7 @@ StatusOr<Json> ExecuteApprox(const Request& request,
   payload.Set("epsilon", params.epsilon);
   payload.Set("delta", params.delta);
   if (r.degraded) {
+    CountDegraded("approx", r.interruption.code());
     SetDegradedSampling(r.interruption, r.samples, params.delta, &payload);
   } else {
     payload.Set("degraded", false);
@@ -125,6 +143,7 @@ StatusOr<Json> ExecuteExactWithFallback(const Request& request,
   StatusOr<Json> approx =
       ExecuteApprox(approx_request, program, edb, event, cancel);
   if (!approx.ok()) return exact;
+  CountDegraded("exact", code);
   Json payload = std::move(approx).value();
   payload.Set("degraded", true);
   payload.Set("fallback_from", "exact");
@@ -178,6 +197,7 @@ StatusOr<Json> ExecuteMcmc(const Request& request,
     StateSpaceOptions options;
     options.max_states = request.max_states;
     options.cancel = cancel;
+    trace::Span span("mcmc.measure_mixing");
     PFQL_ASSIGN_OR_RETURN(
         params.burn_in,
         eval::MeasureMixingTimeTV(tq.kernel, tq.initial,
@@ -197,6 +217,7 @@ StatusOr<Json> ExecuteMcmc(const Request& request,
   payload.Set("burn_in_measured", measured);
   payload.Set("total_steps", r.total_steps);
   if (r.degraded) {
+    CountDegraded("mcmc", r.interruption.code());
     SetDegradedSampling(r.interruption, r.samples, params.delta, &payload);
   } else {
     payload.Set("degraded", false);
@@ -257,6 +278,7 @@ StatusOr<Json> ExecuteTrajectory(const Request& request,
       var += (avg - r.estimate) * (avg - r.estimate);
     }
     var = k > 1 ? var / static_cast<double>(k - 1) : 0.0;
+    CountDegraded("trajectory", r.interruption.code());
     payload.Set("degraded", true);
     payload.Set("interrupted_by",
                 StatusCodeToString(r.interruption.code()));

@@ -8,6 +8,7 @@
 #include "relational/text_io.h"
 #include "server/executor.h"
 #include "util/fault_injection.h"
+#include "util/metrics.h"
 
 namespace pfql {
 namespace server {
@@ -24,6 +25,10 @@ uint64_t HashProgramText(const datalog::Program& program) {
   // Hash the canonical (parsed, re-serialized) form, so formatting and
   // comments do not fragment the cache.
   return std::hash<std::string>{}(program.ToString());
+}
+
+std::string MethodLabel(const Request& request) {
+  return std::string("method=\"") + RequestKindToString(request.kind) + '"';
 }
 
 }  // namespace
@@ -128,33 +133,134 @@ StatusOr<QueryService::InstanceEntry> QueryService::ResolveInstance(
 }
 
 Response QueryService::Call(const Request& request) {
-  if (!IsQueryKind(request.kind)) return HandleControl(request);
+  if (!IsQueryKind(request.kind)) {
+    Response response = HandleControl(request);
+    FinishRequest(request, &response, nullptr);
+    return response;
+  }
 
-  // Admission control: reject instead of queueing unboundedly. The
-  // promise/future pair keeps Call() synchronous while the work runs on a
-  // pool worker.
-  std::promise<Response> promise;
-  std::future<Response> future = promise.get_future();
-  const bool admitted = pool_.TrySubmit([this, &request, &promise] {
-    promise.set_value(ExecuteNow(request));
-  });
-  if (!admitted) {
-    {
-      std::lock_guard<std::mutex> lock(stats_mu_);
-      ++rejected_;
-    }
-    return ErrorResponse(
-        request.id, RequestKindToString(request.kind),
-        Status::Unavailable(
-            "overloaded: admission queue full (" +
-            std::to_string(pool_.queue_capacity()) +
-            " waiting); retry later or raise --queue"));
-  }
+  // Every query-plane request gets a trace; the spans cost microseconds
+  // against evaluations that take milliseconds, and the recorder keeps the
+  // last N trees inspectable after the fact.
+  trace::Trace trace(trace::NewTraceId());
+  trace::ScopedContext outer({&trace, trace::kNoSpan});
+  Response response;
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++accepted_;
+    trace::Span root("request");
+    const trace::Context ctx = trace::Current();
+
+    // Admission control: reject instead of queueing unboundedly. The
+    // promise/future pair keeps Call() synchronous while the work runs on
+    // a pool worker. The admission.wait span runs from submission until a
+    // worker picks the task up — the queue-wait a client actually felt.
+    const trace::SpanId admission =
+        trace.StartSpan("admission.wait", ctx.span);
+    const int64_t submitted_us = trace.ElapsedUs();
+    std::promise<Response> promise;
+    std::future<Response> future = promise.get_future();
+    const bool admitted =
+        pool_.TrySubmit([this, &request, &promise, &trace, ctx, admission,
+                         submitted_us] {
+          trace.EndSpan(admission);
+          static metrics::Histogram* const wait_hist =
+              metrics::MetricRegistry::Instance().GetHistogram(
+                  "pfql_admission_wait_us",
+                  metrics::DefaultLatencyBucketsUs());
+          wait_hist->Observe(trace.ElapsedUs() - submitted_us);
+          trace::ScopedContext sc(ctx);
+          promise.set_value(ExecuteNow(request));
+        });
+    if (!admitted) {
+      trace.EndSpan(admission);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++rejected_;
+      }
+      static metrics::Counter* const rejected_counter =
+          metrics::MetricRegistry::Instance().GetCounter(
+              "pfql_admission_rejected_total");
+      rejected_counter->Increment();
+      response = ErrorResponse(
+          request.id, RequestKindToString(request.kind),
+          Status::Unavailable(
+              "overloaded: admission queue full (" +
+              std::to_string(pool_.queue_capacity()) +
+              " waiting); retry later or raise --queue"));
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++accepted_;
+      }
+      response = future.get();
+    }
+  }  // the "request" root span ends here, covering admission → execution
+  FinishRequest(request, &response, &trace);
+  return response;
+}
+
+void QueryService::FinishRequest(const Request& request, Response* response,
+                                 trace::Trace* trace) {
+  auto& registry = metrics::MetricRegistry::Instance();
+  const std::string method_label = MethodLabel(request);
+  registry.GetCounter("pfql_requests_total", method_label)->Increment();
+  if (!response->status.ok()) {
+    registry.GetCounter("pfql_request_errors_total", method_label)
+        ->Increment();
   }
-  return future.get();
+  registry
+      .GetHistogram("pfql_request_latency_us",
+                    metrics::DefaultLatencyBucketsUs(), method_label)
+      ->Observe(response->elapsed_us);
+
+  Json tree;
+  if (trace != nullptr) {
+    tree = trace->ToJson();
+    trace::TraceRecorder::Entry entry;
+    entry.trace_id = trace->id();
+    entry.method = RequestKindToString(request.kind);
+    entry.dur_us = response->elapsed_us;
+    entry.tree = tree;
+    trace::TraceRecorder::Instance().Record(std::move(entry));
+    if (request.trace) response->trace = std::move(tree);
+  }
+
+  if (options_.log_sink) {
+    const Json* degraded = response->result.Find("degraded");
+    const bool is_degraded =
+        degraded != nullptr && degraded->is_bool() && degraded->AsBool();
+    const int64_t timeout_ms = request.timeout_ms > 0
+                                   ? request.timeout_ms
+                                   : options_.default_timeout_ms;
+    Json line = Json::Object();
+    line.Set("trace_id", trace != nullptr ? trace->id() : std::string());
+    line.Set("method", std::string(RequestKindToString(request.kind)));
+    line.Set("ok", response->status.ok());
+    if (!response->status.ok()) {
+      line.Set("code", StatusCodeToString(response->status.code()));
+      line.Set("error", response->status.message());
+    }
+    line.Set("elapsed_us", response->elapsed_us);
+    line.Set("cached", response->cached);
+    line.Set("degraded", is_degraded);
+    // Deadline budget left when the response was built; -1 = no deadline.
+    line.Set("deadline_left_ms",
+             timeout_ms > 0 ? timeout_ms - response->elapsed_us / 1000
+                            : int64_t{-1});
+    options_.log_sink(line);
+  }
+}
+
+void QueryService::RefreshGauges() const {
+  auto& registry = metrics::MetricRegistry::Instance();
+  registry.GetGauge("pfql_pool_queue_depth")
+      ->Set(static_cast<int64_t>(pool_.QueueDepth()));
+  registry.GetGauge("pfql_pool_active")
+      ->Set(static_cast<int64_t>(pool_.ActiveCount()));
+  registry.GetGauge("pfql_pool_workers")
+      ->Set(static_cast<int64_t>(pool_.worker_count()));
+  registry.GetGauge("pfql_cache_entries")
+      ->Set(static_cast<int64_t>(cache_.GetStats().entries));
+  registry.GetGauge("pfql_uptime_us")->Set(ElapsedUs(started_));
 }
 
 Response QueryService::CallLine(std::string_view line) {
@@ -167,6 +273,7 @@ Response QueryService::CallLine(std::string_view line) {
 
 Response QueryService::ExecuteNow(const Request& request) {
   const auto start = std::chrono::steady_clock::now();
+  trace::Span execute_span("execute");
   Response response;
   response.id = request.id;
   response.method = RequestKindToString(request.kind);
@@ -178,14 +285,21 @@ Response QueryService::ExecuteNow(const Request& request) {
     return response;
   };
 
-  auto program = ResolveProgram(request);
+  auto program = [&] {
+    trace::Span span("resolve.program");
+    return ResolveProgram(request);
+  }();
   if (!program.ok()) return fail(program.status());
-  auto instance = ResolveInstance(request);
+  auto instance = [&] {
+    trace::Span span("resolve.instance");
+    return ResolveInstance(request);
+  }();
   if (!instance.ok()) return fail(instance.status());
 
   CacheKey key{program->hash, instance->hash,
                RequestKindToString(request.kind), request.CacheParams()};
   if (!request.no_cache) {
+    trace::Span span("cache.lookup");
     if (std::optional<Json> payload = cache_.Lookup(key)) {
       response.result = *std::move(payload);
       response.cached = true;
@@ -205,9 +319,13 @@ Response QueryService::ExecuteNow(const Request& request) {
                   std::chrono::milliseconds(timeout_ms));
   }
 
-  auto payload = ExecuteQuery(request, *program->program,
-                              *instance->instance,
-                              token.has_value() ? &*token : nullptr);
+  auto payload = [&] {
+    const std::string span_name =
+        std::string("eval.") + RequestKindToString(request.kind);
+    trace::Span span(span_name);
+    return ExecuteQuery(request, *program->program, *instance->instance,
+                        token.has_value() ? &*token : nullptr);
+  }();
   if (!payload.ok()) return fail(payload.status());
   // Degraded (partial) payloads are answers to *this* deadline, not to the
   // query — caching one would serve a truncated estimate to callers with
@@ -215,7 +333,10 @@ Response QueryService::ExecuteNow(const Request& request) {
   const Json* degraded = payload->Find("degraded");
   const bool is_degraded =
       degraded != nullptr && degraded->is_bool() && degraded->AsBool();
-  if (!request.no_cache && !is_degraded) cache_.Insert(key, *payload);
+  if (!request.no_cache && !is_degraded) {
+    trace::Span span("cache.insert");
+    cache_.Insert(key, *payload);
+  }
   response.result = *std::move(payload);
   response.elapsed_us = ElapsedUs(start);
   RecordOutcome(request, response);
@@ -254,6 +375,23 @@ Response QueryService::HandleControl(const Request& request) {
     case RequestKind::kHealth:
       response.result = HealthJson();
       break;
+    case RequestKind::kMetrics: {
+      RefreshGauges();
+      const metrics::MetricsSnapshot snapshot =
+          metrics::MetricRegistry::Instance().Snapshot();
+      Json payload = Json::Object();
+      if (request.format == "prometheus") {
+        payload.Set("content_type", "text/plain; version=0.0.4");
+        payload.Set("text", snapshot.ToPrometheusText());
+      } else {
+        payload.Set("metrics", snapshot.ToJson());
+        payload.Set("traces", trace::TraceRecorder::Instance().Summaries());
+        payload.Set("faults",
+                    fault::FaultRegistry::Instance().SnapshotJson());
+      }
+      response.result = std::move(payload);
+      break;
+    }
     case RequestKind::kList: {
       Json payload = Json::Object();
       Json programs = Json::Array();

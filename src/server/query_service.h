@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -23,6 +24,7 @@
 #include "server/result_cache.h"
 #include "server/wire.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace pfql {
 namespace server {
@@ -37,6 +39,12 @@ struct ServiceOptions {
   size_t cache_entries = 256;
   /// Deadline applied to requests that carry no timeout_ms; 0 = none.
   int64_t default_timeout_ms = 0;
+  /// Structured per-request log sink: called once per served request with
+  /// {"trace_id","method","ok","code","elapsed_us","cached","degraded",
+  ///  "deadline_left_ms"} (schema in docs/OBSERVABILITY.md). Null = no
+  /// logging. Invoked on the calling thread after the response is built —
+  /// the sink must be thread-safe if Call() is used concurrently.
+  std::function<void(const Json&)> log_sink;
 };
 
 class QueryService {
@@ -107,6 +115,12 @@ class QueryService {
   StatusOr<ProgramEntry> ResolveProgram(const Request& request) const;
   StatusOr<InstanceEntry> ResolveInstance(const Request& request) const;
   void RecordOutcome(const Request& request, const Response& response);
+  /// Tail common to every Call(): registry metrics, trace recording /
+  /// inline trace attachment, and the structured log line.
+  void FinishRequest(const Request& request, Response* response,
+                     trace::Trace* trace);
+  /// Point-in-time pool/cache gauges, refreshed at `metrics` scrape time.
+  void RefreshGauges() const;
 
   const ServiceOptions options_;
   const std::chrono::steady_clock::time_point started_ =

@@ -4,10 +4,47 @@
 #include <utility>
 
 #include "util/fault_injection.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace pfql {
 namespace server {
+
+namespace {
+
+std::string KindLabel(const std::string& kind) {
+  return "kind=\"" + kind + "\"";
+}
+
+metrics::Counter* LookupsCounter(const std::string& kind) {
+  return metrics::MetricRegistry::Instance().GetCounter(
+      "pfql_cache_lookups_total", KindLabel(kind));
+}
+
+metrics::Counter* HitsCounter(const std::string& kind) {
+  return metrics::MetricRegistry::Instance().GetCounter(
+      "pfql_cache_hits_total", KindLabel(kind));
+}
+
+metrics::Counter* MissesCounter(const std::string& kind) {
+  return metrics::MetricRegistry::Instance().GetCounter(
+      "pfql_cache_misses_total", KindLabel(kind));
+}
+
+metrics::Counter* EvictionsCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricRegistry::Instance().GetCounter(
+          "pfql_cache_evictions_total");
+  return c;
+}
+
+metrics::Gauge* EntriesGauge() {
+  static metrics::Gauge* const g =
+      metrics::MetricRegistry::Instance().GetGauge("pfql_cache_entries");
+  return g;
+}
+
+}  // namespace
 
 size_t CacheKeyHash::operator()(const CacheKey& key) const {
   size_t seed = static_cast<size_t>(key.program_hash);
@@ -20,20 +57,20 @@ size_t CacheKeyHash::operator()(const CacheKey& key) const {
 ResultCache::ResultCache(size_t capacity) : capacity_(capacity) {}
 
 std::optional<Json> ResultCache::Lookup(const CacheKey& key) {
+  LookupsCounter(key.kind)->Increment();
   // Chaos hook: a forced miss exercises the recompute path for a key that
-  // is actually resident (cold-cache behavior on demand).
-  if (fault::InjectFault(fault::points::kCacheLookup)) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++misses_;
-    return std::nullopt;
-  }
+  // is actually resident (cold-cache behavior on demand). Evaluated before
+  // taking the lock — an armed delay must not stall other cache users.
+  const bool forced_miss = fault::InjectFault(fault::points::kCacheLookup);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
+  auto it = forced_miss ? index_.end() : index_.find(key);
   if (it == index_.end()) {
     ++misses_;
+    MissesCounter(key.kind)->Increment();
     return std::nullopt;
   }
   ++hits_;
+  HitsCounter(key.kind)->Increment();
   ++it->second->hits;
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->payload;
@@ -42,33 +79,43 @@ std::optional<Json> ResultCache::Lookup(const CacheKey& key) {
 void ResultCache::Insert(const CacheKey& key, Json payload) {
   if (capacity_ == 0) return;
   // Chaos hook: a firing evicts every resident entry before the insert —
-  // the worst-case eviction storm consumers must tolerate.
-  if (fault::InjectFault(fault::points::kCacheEvict)) {
+  // the worst-case eviction storm consumers must tolerate. Evaluated before
+  // the lock; the wipe and the insert then happen under one acquisition so
+  // concurrent stats readers never observe a half-applied storm.
+  const bool evict_all = fault::InjectFault(fault::points::kCacheEvict);
+  size_t evicted = 0;
+  {
     std::lock_guard<std::mutex> lock(mu_);
-    evictions_ += lru_.size();
-    lru_.clear();
-    index_.clear();
+    if (evict_all) {
+      evicted += lru_.size();
+      evictions_ += lru_.size();
+      lru_.clear();
+      index_.clear();
+    }
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      it->second->payload = std::move(payload);
+      lru_.splice(lru_.begin(), lru_, it->second);
+    } else {
+      lru_.push_front(Entry{key, std::move(payload), 0});
+      index_[key] = lru_.begin();
+      if (lru_.size() > capacity_) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+        ++evicted;
+      }
+    }
+    EntriesGauge()->Set(static_cast<int64_t>(lru_.size()));
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->payload = std::move(payload);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
-  }
-  lru_.push_front(Entry{key, std::move(payload), 0});
-  index_[key] = lru_.begin();
-  if (lru_.size() > capacity_) {
-    index_.erase(lru_.back().key);
-    lru_.pop_back();
-    ++evictions_;
-  }
+  if (evicted > 0) EvictionsCounter()->Increment(evicted);
 }
 
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   index_.clear();
+  EntriesGauge()->Set(0);
 }
 
 ResultCache::Stats ResultCache::GetStats() const {

@@ -48,7 +48,8 @@ class ResultCache {
   std::optional<Json> Lookup(const CacheKey& key);
 
   /// Inserts (or refreshes) an entry, evicting the least-recently-used
-  /// entry beyond capacity.
+  /// entry beyond capacity. Runs under a single lock acquisition, so
+  /// concurrent GetStats() readers see insert+eviction as one step.
   void Insert(const CacheKey& key, Json payload);
 
   /// Drops every entry (counters survive).

@@ -12,11 +12,33 @@
 #include <string>
 
 #include "util/fault_injection.h"
+#include "util/metrics.h"
 
 namespace pfql {
 namespace server {
 
 namespace {
+
+metrics::Counter* TcpConnectionsCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricRegistry::Instance().GetCounter(
+          "pfql_tcp_connections_total");
+  return c;
+}
+
+metrics::Counter* TcpRequestsCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricRegistry::Instance().GetCounter(
+          "pfql_tcp_requests_total");
+  return c;
+}
+
+metrics::Counter* TcpWriteErrorsCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricRegistry::Instance().GetCounter(
+          "pfql_tcp_write_errors_total");
+  return c;
+}
 
 // Writes the whole buffer, retrying on partial writes; MSG_NOSIGNAL keeps a
 // disconnected peer from raising SIGPIPE.
@@ -42,9 +64,12 @@ bool WriteResponseLine(int fd, const Response& response) {
   // Clients observe a short read — the case their retry path must handle.
   if (fault::InjectFault(fault::points::kTcpWrite)) {
     WriteAll(fd, line.data(), line.size() / 2);
+    TcpWriteErrorsCounter()->Increment();
     return false;
   }
-  return WriteAll(fd, line.data(), line.size());
+  const bool ok = WriteAll(fd, line.data(), line.size());
+  if (!ok) TcpWriteErrorsCounter()->Increment();
+  return ok;
 }
 
 }  // namespace
@@ -164,6 +189,7 @@ void TcpServer::AcceptLoop() {
     const int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    TcpConnectionsCounter()->Increment();
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_.load()) {
       ::close(client);
@@ -195,6 +221,7 @@ void TcpServer::ServeConnection(int fd) {
       if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
       start = newline + 1;
       if (line.empty()) continue;
+      TcpRequestsCounter()->Increment();
       if (!WriteResponseLine(fd, service_->CallLine(line))) {
         open = false;
         break;

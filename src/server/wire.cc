@@ -13,6 +13,8 @@ const char* RequestKindToString(RequestKind kind) {
       return "list";
     case RequestKind::kHealth:
       return "health";
+    case RequestKind::kMetrics:
+      return "metrics";
     case RequestKind::kRegisterProgram:
       return "register_program";
     case RequestKind::kRegisterInstance:
@@ -39,6 +41,7 @@ StatusOr<RequestKind> RequestKindFromString(std::string_view name) {
   static constexpr RequestKind kAll[] = {
       RequestKind::kPing,    RequestKind::kStats,
       RequestKind::kList,    RequestKind::kHealth,
+      RequestKind::kMetrics,
       RequestKind::kRegisterProgram,
       RequestKind::kRegisterInstance,
       RequestKind::kRun,     RequestKind::kExact,
@@ -194,6 +197,18 @@ StatusOr<Request> ParseRequest(const Json& json) {
   request.max_samples = static_cast<size_t>(max_samples);
   PFQL_ASSIGN_OR_RETURN(request.allow_partial,
                         json.GetBool("allow_partial", true));
+  PFQL_ASSIGN_OR_RETURN(request.trace, json.GetBool("trace", false));
+  PFQL_ASSIGN_OR_RETURN(request.format, json.GetString("format", ""));
+  if (!request.format.empty()) {
+    if (request.kind != RequestKind::kMetrics) {
+      return Status::InvalidArgument(
+          "'format' only applies to method 'metrics'");
+    }
+    if (request.format != "json" && request.format != "prometheus") {
+      return Status::InvalidArgument(
+          "field 'format' must be \"json\" or \"prometheus\"");
+    }
+  }
   PFQL_ASSIGN_OR_RETURN(request.fallback, json.GetString("fallback", ""));
   if (!request.fallback.empty()) {
     if (request.fallback != "approx") {
@@ -253,6 +268,7 @@ Json ResponseToJson(const Response& response) {
     out.Set("cached", response.cached);
     out.Set("elapsed_us", response.elapsed_us);
     out.Set("result", response.result);
+    if (!response.trace.is_null()) out.Set("trace", response.trace);
   } else {
     Json error = Json::Object();
     error.Set("code", StatusCodeToString(response.status.code()));

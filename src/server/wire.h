@@ -26,6 +26,7 @@ enum class RequestKind {
   kStats,
   kList,
   kHealth,  ///< overload / queue-depth / fault snapshot (load balancers)
+  kMetrics, ///< metric registry snapshot (JSON or Prometheus exposition)
   kRegisterProgram,
   kRegisterInstance,
   // Query plane (the paper's algorithm suite).
@@ -94,6 +95,11 @@ struct Request {
   /// remaining deadline when exact evaluation exhausts its budget. Empty =
   /// no fallback.
   std::string fallback;
+  /// Attach the request's span tree to the response ("trace" object).
+  /// Not part of the cache key: tracing never changes the result value.
+  bool trace = false;
+  /// "metrics" only: "json" (default) or "prometheus" exposition text.
+  std::string format;
 
   /// Canonical parameter fingerprint for the result cache: every field
   /// that affects the result value for this kind (event, budgets, seed for
@@ -117,6 +123,9 @@ struct Response {
   Json result;
   bool cached = false;
   int64_t elapsed_us = 0;
+  /// Span tree (Trace::ToJson()) when the request asked for trace:true;
+  /// null otherwise (and omitted from the serialized response).
+  Json trace;
 };
 
 /// Builds the response object:

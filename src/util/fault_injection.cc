@@ -5,8 +5,21 @@
 #include <cstdlib>
 #include <thread>
 
+#include "util/metrics.h"
+
 namespace pfql {
 namespace fault {
+
+namespace {
+
+std::string PointLabel(std::string_view point) {
+  std::string label = "point=\"";
+  label.append(point);
+  label += '"';
+  return label;
+}
+
+}  // namespace
 
 const std::vector<std::string>& KnownPoints() {
   static const std::vector<std::string> kPoints = {
@@ -166,6 +179,14 @@ bool FaultRegistry::ShouldFail(std::string_view point) {
       ++state.fired;
       delay_ms = state.spec.delay_ms;
     }
+  }
+  // Armed-point hits are rare enough that the label formatting and registry
+  // lookup here are noise; the disarmed fast path never reaches this.
+  const std::string label = PointLabel(point);
+  auto& registry = metrics::MetricRegistry::Instance();
+  registry.GetCounter("pfql_fault_hits_total", label)->Increment();
+  if (fired) {
+    registry.GetCounter("pfql_fault_fired_total", label)->Increment();
   }
   if (fired && delay_ms > 0) {
     // Injected latency, not an error: sleep outside the lock so concurrent

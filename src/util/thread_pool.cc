@@ -4,8 +4,25 @@
 #include <utility>
 
 #include "util/fault_injection.h"
+#include "util/metrics.h"
 
 namespace pfql {
+
+namespace {
+
+metrics::Counter* PoolShedCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricRegistry::Instance().GetCounter("pfql_pool_shed_total");
+  return c;
+}
+
+metrics::Counter* PoolTasksCounter() {
+  static metrics::Counter* const c =
+      metrics::MetricRegistry::Instance().GetCounter("pfql_pool_tasks_total");
+  return c;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t workers, size_t queue_capacity)
     : queue_capacity_(std::max<size_t>(1, queue_capacity)) {
@@ -28,10 +45,16 @@ ThreadPool::~ThreadPool() {
 bool ThreadPool::TrySubmit(std::function<void()> task) {
   // Chaos hook: a refused submission is indistinguishable from a full
   // queue, so callers' overload handling can be provoked on demand.
-  if (fault::InjectFault(fault::points::kPoolSubmit)) return false;
+  if (fault::InjectFault(fault::points::kPoolSubmit)) {
+    PoolShedCounter()->Increment();
+    return false;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_ || queue_.size() >= queue_capacity_) return false;
+    if (shutdown_ || queue_.size() >= queue_capacity_) {
+      PoolShedCounter()->Increment();
+      return false;
+    }
     queue_.push_back(std::move(task));
   }
   work_available_.notify_one();
@@ -68,6 +91,7 @@ void ThreadPool::WorkerLoop() {
     // Chaos hook: armed with a delay spec this stalls the worker before the
     // task runs (slow-worker simulation for deadline/queueing tests).
     fault::InjectFault(fault::points::kPoolRun);
+    PoolTasksCounter()->Increment();
     task();
     {
       std::lock_guard<std::mutex> lock(mu_);

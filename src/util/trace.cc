@@ -1,0 +1,177 @@
+#include "util/trace.h"
+
+#include <atomic>
+#include <functional>
+#include <utility>
+
+namespace pfql {
+namespace trace {
+
+namespace {
+
+thread_local Context g_context;
+
+int64_t UsSince(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+std::string NewTraceId() {
+  static std::atomic<uint64_t> counter{0x9e3779b97f4a7c15ULL};
+  // splitmix64 of a monotonic counter: unique per process, and the mixing
+  // keeps ids from reading as small sequential integers.
+  uint64_t z = counter.fetch_add(0x9e3779b97f4a7c15ULL,
+                                 std::memory_order_relaxed);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  char buf[17];
+  static const char* kHex = "0123456789abcdef";
+  for (int i = 15; i >= 0; --i) {
+    buf[i] = kHex[z & 0xf];
+    z >>= 4;
+  }
+  buf[16] = '\0';
+  return std::string(buf);
+}
+
+Trace::Trace(std::string id)
+    : id_(std::move(id)), started_(std::chrono::steady_clock::now()) {}
+
+SpanId Trace::StartSpan(std::string_view name, SpanId parent) {
+  const int64_t now = UsSince(started_);
+  std::lock_guard<std::mutex> lock(mu_);
+  SpanRecord record;
+  record.name = std::string(name);
+  record.parent = parent;
+  record.start_us = now;
+  spans_.push_back(std::move(record));
+  return static_cast<SpanId>(spans_.size() - 1);
+}
+
+void Trace::EndSpan(SpanId span) {
+  const int64_t now = UsSince(started_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span < spans_.size()) {
+    spans_[span].dur_us = now - spans_[span].start_us;
+  }
+}
+
+int64_t Trace::ElapsedUs() const { return UsSince(started_); }
+
+Json Trace::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Children in span start order (span ids are assigned in start order).
+  std::vector<std::vector<size_t>> children(spans_.size());
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    const SpanId parent = spans_[i].parent;
+    if (parent == kNoSpan || parent >= spans_.size()) {
+      roots.push_back(i);
+    } else {
+      children[parent].push_back(i);
+    }
+  }
+
+  // Iterative build (spans are a tree, but don't trust depth under chaos).
+  std::function<Json(size_t)> build = [&](size_t i) -> Json {
+    Json node = Json::Object();
+    node.Set("name", spans_[i].name);
+    node.Set("start_us", spans_[i].start_us);
+    node.Set("dur_us", spans_[i].dur_us);
+    if (!children[i].empty()) {
+      Json kids = Json::Array();
+      for (size_t c : children[i]) kids.Append(build(c));
+      node.Set("children", std::move(kids));
+    }
+    return node;
+  };
+
+  Json out = Json::Object();
+  out.Set("trace_id", id_);
+  if (!roots.empty()) {
+    // A well-formed request trace has exactly one root ("request"); any
+    // orphaned extras attach under it so nothing is silently dropped.
+    Json root = build(roots[0]);
+    if (roots.size() > 1) {
+      Json extras = Json::Array();
+      for (size_t r = 1; r < roots.size(); ++r) extras.Append(build(r));
+      root.Set("orphans", std::move(extras));
+    }
+    out.Set("root", std::move(root));
+  }
+  return out;
+}
+
+Context Current() { return g_context; }
+
+ScopedContext::ScopedContext(Context context) : saved_(g_context) {
+  g_context = context;
+}
+
+ScopedContext::~ScopedContext() { g_context = saved_; }
+
+Span::Span(std::string_view name) {
+  if (g_context.trace == nullptr) return;
+  trace_ = g_context.trace;
+  parent_ = g_context.span;
+  id_ = trace_->StartSpan(name, parent_);
+  g_context.span = id_;
+}
+
+Span::~Span() {
+  if (trace_ == nullptr) return;
+  trace_->EndSpan(id_);
+  g_context.span = parent_;
+}
+
+TraceRecorder::TraceRecorder(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TraceRecorder& TraceRecorder::Instance() {
+  static TraceRecorder* const recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Record(Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(entry));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+Json TraceRecorder::Summaries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::Array();
+  for (const Entry& entry : ring_) {
+    Json item = Json::Object();
+    item.Set("trace_id", entry.trace_id);
+    item.Set("method", entry.method);
+    item.Set("dur_us", entry.dur_us);
+    out.Append(std::move(item));
+  }
+  return out;
+}
+
+Json TraceRecorder::Find(std::string_view trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& entry : ring_) {
+    if (entry.trace_id == trace_id) return entry.tree;
+  }
+  return Json();
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+}  // namespace trace
+}  // namespace pfql

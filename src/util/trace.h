@@ -1,0 +1,149 @@
+// Request tracing for the query service: a Trace is one request's tree of
+// timed spans (admission wait, execution, evaluator phases, per-worker
+// sampling), identified by a process-unique hex trace id. Spans are RAII
+// objects that read a thread-local current-trace context, so instrumented
+// code (`trace::Span span("eval.approx");`) costs one thread-local load
+// and a branch when no trace is active — evaluators need no new
+// parameters. Worker threads join a trace by capturing the spawning
+// thread's context (`Capture()`) and installing it (`ScopedContext`).
+//
+// Finished traces land in a fixed-capacity ring buffer recorder
+// (TraceRecorder) so the last N request trees survive for the `metrics`
+// wire method; a request with `trace:true` additionally gets its span tree
+// serialized into the response (docs/OBSERVABILITY.md documents the span
+// naming scheme).
+#ifndef PFQL_UTIL_TRACE_H_
+#define PFQL_UTIL_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace pfql {
+namespace trace {
+
+using SpanId = uint32_t;
+inline constexpr SpanId kNoSpan = UINT32_MAX;
+
+/// Process-unique 16-hex-digit trace id (monotonic counter mixed through
+/// splitmix64, so ids from concurrent requests never collide).
+std::string NewTraceId();
+
+/// One request's span tree. Thread-safe: spans may start/end from the
+/// admission thread, the pool worker, and sampler threads concurrently.
+class Trace {
+ public:
+  explicit Trace(std::string id);
+
+  const std::string& id() const { return id_; }
+
+  /// Starts a span under `parent` (kNoSpan = a root) and returns its id.
+  SpanId StartSpan(std::string_view name, SpanId parent);
+  void EndSpan(SpanId span);
+
+  /// Microseconds since the trace was constructed.
+  int64_t ElapsedUs() const;
+
+  /// {"trace_id":...,"root":{"name":...,"start_us":...,"dur_us":...,
+  ///  "children":[...]}} — children in span start order; an unfinished
+  ///  span reports dur_us -1. Spans whose parent is missing attach to the
+  ///  first root.
+  Json ToJson() const;
+
+ private:
+  struct SpanRecord {
+    std::string name;
+    SpanId parent = kNoSpan;
+    int64_t start_us = 0;
+    int64_t dur_us = -1;
+  };
+
+  const std::string id_;
+  const std::chrono::steady_clock::time_point started_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// The thread-local tracing context: the active trace (null = tracing off
+/// on this thread) and the innermost open span (the parent of the next
+/// Span constructed here).
+struct Context {
+  Trace* trace = nullptr;
+  SpanId span = kNoSpan;
+};
+
+/// This thread's current context (copy; cheap).
+Context Current();
+
+/// Installs a context for the current scope and restores the previous one
+/// on destruction. Used at the top of pool workers and sampler threads:
+///   trace::ScopedContext sc(captured);
+class ScopedContext {
+ public:
+  explicit ScopedContext(Context context);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Context saved_;
+};
+
+/// RAII span: no-op when the thread has no active trace. On construction
+/// becomes the thread's innermost span; on destruction ends itself and
+/// restores its parent.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Trace* trace_ = nullptr;
+  SpanId id_ = kNoSpan;
+  SpanId parent_ = kNoSpan;
+};
+
+/// Fixed-capacity ring buffer of finished traces (most recent last), so an
+/// operator can see where recent requests spent their time without having
+/// asked for tracing up front.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(size_t capacity = 64);
+
+  /// The process recorder (fed by QueryService, drained by `metrics`).
+  static TraceRecorder& Instance();
+
+  struct Entry {
+    std::string trace_id;
+    std::string method;
+    int64_t dur_us = 0;
+    Json tree;  ///< the Trace::ToJson() document
+  };
+
+  void Record(Entry entry);
+  /// Oldest-first array of {"trace_id","method","dur_us"} summaries.
+  Json Summaries() const;
+  /// Full tree for one recorded trace id; null Json when evicted/unknown.
+  Json Find(std::string_view trace_id) const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Entry> ring_;
+};
+
+}  // namespace trace
+}  // namespace pfql
+
+#endif  // PFQL_UTIL_TRACE_H_

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace pfql {
 namespace server {
 namespace {
@@ -98,6 +101,46 @@ TEST(ResultCacheTest, SnapshotReportsPerEntryHits) {
   EXPECT_EQ(snapshot.items()[0].Find("hits")->AsInt(), 2);
   EXPECT_EQ(snapshot.items()[1].Find("kind")->AsString(), "forever");
   EXPECT_EQ(snapshot.items()[1].Find("hits")->AsInt(), 0);
+}
+
+// Regression soak for stats synchronization: readers polling GetStats()
+// and Snapshot() while writers insert/lookup/clear concurrently. Run
+// under TSan in CI; the invariant checked is hits + misses == lookups
+// observed, which a torn or unlocked stats path would violate.
+TEST(ResultCacheTest, StatsConsistentUnderConcurrentQueries) {
+  ResultCache cache(8);
+  constexpr int kWriters = 4;
+  constexpr int kOpsPerWriter = 2000;
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&cache, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const uint64_t k = static_cast<uint64_t>((w * kOpsPerWriter + i) % 16);
+        cache.Insert(Key(k, 0), Payload(static_cast<int>(k)));
+        cache.Lookup(Key(k, 0));
+        cache.Lookup(Key(k + 100, 0));  // guaranteed miss
+      }
+    });
+  }
+  std::thread reader([&cache] {
+    for (int i = 0; i < 500; ++i) {
+      const ResultCache::Stats stats = cache.GetStats();
+      // Mid-flight snapshots must be internally consistent, never torn.
+      EXPECT_LE(stats.entries, 8u);
+      EXPECT_LE(stats.hits, stats.hits + stats.misses);
+      cache.Snapshot();
+    }
+  });
+  for (auto& t : writers) t.join();
+  reader.join();
+
+  const ResultCache::Stats stats = cache.GetStats();
+  const uint64_t lookups = 2ull * kWriters * kOpsPerWriter;
+  EXPECT_EQ(stats.hits + stats.misses, lookups);
+  // Keys 100..115 are never inserted, so at least half the lookups miss.
+  EXPECT_GE(stats.misses,
+            static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+  EXPECT_LE(stats.entries, 8u);
 }
 
 }  // namespace

@@ -1,0 +1,128 @@
+// Golden tests for request tracing through the query service: a canonical
+// `approx` request with trace:true must yield a span tree with stable
+// names and parent edges. Trace ids and durations vary run to run, so the
+// tree is normalized to a names-only S-expression before comparison.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/query_service.h"
+#include "server/wire.h"
+#include "util/trace.h"
+
+namespace pfql {
+namespace server {
+namespace {
+
+constexpr char kCoinProgram[] = "flip(<K>, V) :- opts(K, V).\n";
+constexpr char kCoinData[] =
+    "relation opts(k, v) {\n  (0, 0)\n  (0, 1)\n}\n";
+
+Request TracedRequest(RequestKind kind) {
+  Request request;
+  request.kind = kind;
+  request.program_text = kCoinProgram;
+  request.data_text = kCoinData;
+  request.event = "flip(0, 1)";
+  request.trace = true;
+  // Sampling knobs kept small and single-threaded so the tree shape is
+  // identical on every run.
+  request.epsilon = 0.5;
+  request.delta = 0.5;
+  request.seed = 7;
+  request.threads = 1;
+  return request;
+}
+
+// Renders a span subtree as "name(child,child,...)", the normalization
+// that drops ids, timestamps, and durations but keeps names and parent
+// edges — exactly what the golden strings pin down.
+std::string Canonical(const Json& span) {
+  std::string out = span.Find("name")->AsString();
+  const Json* children = span.Find("children");
+  if (children != nullptr && children->size() > 0) {
+    out += "(";
+    for (size_t i = 0; i < children->size(); ++i) {
+      if (i > 0) out += ",";
+      out += Canonical(children->items()[i]);
+    }
+    out += ")";
+  }
+  return out;
+}
+
+TEST(TraceGoldenTest, ApproxRequestSpanTree) {
+  QueryService service;
+  const Response response = service.Call(TracedRequest(RequestKind::kApprox));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_FALSE(response.trace.is_null());
+
+  const Json* root = response.trace.Find("root");
+  ASSERT_NE(root, nullptr);
+  // The golden tree: the root request span covers admission through
+  // execution; execution resolves, misses the cache, evaluates with one
+  // sampling worker, and stores the result.
+  EXPECT_EQ(Canonical(*root),
+            "request(admission.wait,"
+            "execute(resolve.program,resolve.instance,cache.lookup,"
+            "eval.approx(approx.worker),cache.insert))");
+
+  // The trace id travels with the tree and looks like a trace id.
+  const Json* trace_id = response.trace.Find("trace_id");
+  ASSERT_NE(trace_id, nullptr);
+  EXPECT_EQ(trace_id->AsString().size(), 16u);
+
+  // Durations of finished spans are filled in and the root bounds its
+  // children (sanity, not golden — values differ per run).
+  EXPECT_GE(root->Find("dur_us")->AsInt(), 0);
+}
+
+TEST(TraceGoldenTest, CachedRequestSkipsEvalAndInsert) {
+  QueryService service;
+  const Request request = TracedRequest(RequestKind::kApprox);
+  ASSERT_TRUE(service.Call(request).status.ok());
+  const Response second = service.Call(request);
+  ASSERT_TRUE(second.status.ok());
+  EXPECT_TRUE(second.cached);
+  ASSERT_FALSE(second.trace.is_null());
+  // A cache hit returns from inside cache.lookup: no eval, no insert.
+  EXPECT_EQ(Canonical(*second.trace.Find("root")),
+            "request(admission.wait,"
+            "execute(resolve.program,resolve.instance,cache.lookup))");
+}
+
+TEST(TraceGoldenTest, ExactRequestSpanTree) {
+  QueryService service;
+  Request request = TracedRequest(RequestKind::kExact);
+  const Response response = service.Call(request);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  ASSERT_FALSE(response.trace.is_null());
+  EXPECT_EQ(Canonical(*response.trace.Find("root")),
+            "request(admission.wait,"
+            "execute(resolve.program,resolve.instance,cache.lookup,"
+            "eval.exact,cache.insert))");
+}
+
+TEST(TraceGoldenTest, UntracedRequestReturnsNoTree) {
+  QueryService service;
+  Request request = TracedRequest(RequestKind::kExact);
+  request.trace = false;
+  const Response response = service.Call(request);
+  ASSERT_TRUE(response.status.ok());
+  EXPECT_TRUE(response.trace.is_null());
+}
+
+TEST(TraceGoldenTest, RecorderKeepsFinishedRequestTraces) {
+  trace::TraceRecorder::Instance().Clear();
+  QueryService service;
+  const Response response = service.Call(TracedRequest(RequestKind::kExact));
+  ASSERT_TRUE(response.status.ok());
+  const std::string id = response.trace.Find("trace_id")->AsString();
+  const Json recorded = trace::TraceRecorder::Instance().Find(id);
+  ASSERT_FALSE(recorded.is_null());
+  EXPECT_EQ(recorded.Find("trace_id")->AsString(), id);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace pfql

@@ -15,6 +15,8 @@
 //   pfql serve      [pfqld flags]     (run the query daemon in-process)
 //   pfql client     --port N [--request '<json>']   (NDJSON client; with
 //                   no --request, reads request lines from stdin)
+//   pfql client metrics --port N [--prom]   (scrape the daemon's metric
+//                   registry; --prom prints Prometheus text exposition)
 //
 // Query subcommands also accept [--threads N] [--timeout-ms N] [--json].
 // --json prints the wire-format response object of docs/SERVER.md (the
@@ -30,6 +32,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "datalog/program.h"
 #include "relational/text_io.h"
@@ -56,7 +59,8 @@ int Usage() {
       "            [--steps N] [--runs N] [--timeout-ms N] [--json]\n"
       "            [--max-samples N] [--fallback approx]\n"
       "       pfql client --port N [--request '<json>'] [--retries N]\n"
-      "            [--max-backoff-ms N] [--attempt-timeout-ms N]\n");
+      "            [--max-backoff-ms N] [--attempt-timeout-ms N]\n"
+      "       pfql client metrics --port N [--prom]\n");
   return 2;
 }
 
@@ -70,8 +74,11 @@ StatusOr<std::string> ReadFile(const std::string& path) {
 
 struct Args {
   std::string mode;
+  /// Bare words after the mode ("metrics" in `pfql client metrics`).
+  std::vector<std::string> positionals;
   std::map<std::string, std::string> options;
   bool json = false;
+  bool prom = false;
 
   bool Has(const std::string& key) const { return options.count(key) > 0; }
   std::string Get(const std::string& key, const std::string& fallback) const {
@@ -91,8 +98,15 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
       args.json = true;
       continue;
     }
+    if (key == "--prom") {
+      args.prom = true;
+      continue;
+    }
     if (key.rfind("--", 0) != 0) {
-      return Status::InvalidArgument("unexpected argument '" + key + "'");
+      // Bare words are subcommands of the mode (`client metrics`), not
+      // option values — those are always consumed with their flag below.
+      args.positionals.push_back(std::move(key));
+      continue;
     }
     key = key.substr(2);
     if (i + 1 >= argc) {
@@ -281,6 +295,40 @@ int RunClient(const Args& args) {
   Status status = client.Connect(
       static_cast<uint16_t>(std::stoul(args.Get("port", "0"))));
   if (!status.ok()) return Fail(status, args, "client");
+
+  // `pfql client metrics [--prom]`: one metrics request; --prom prints the
+  // raw Prometheus text exposition (scrape-ready), default prints the JSON
+  // snapshot payload.
+  if (!args.positionals.empty() && args.positionals[0] == "metrics") {
+    Json request = Json::Object();
+    request.Set("method", std::string("metrics"));
+    request.Set("format", std::string(args.prom ? "prometheus" : "json"));
+    auto response = client.CallWithRetry(request);
+    if (!response.ok()) return Fail(response.status(), args, "metrics");
+    const Json* ok = response->Find("ok");
+    if (ok == nullptr || !ok->is_bool() || !ok->AsBool()) {
+      std::printf("%s\n", response->Dump().c_str());
+      return 1;
+    }
+    const Json* result = response->Find("result");
+    if (result == nullptr) {
+      return Fail(Status::Internal("metrics response has no result"), args,
+                  "metrics");
+    }
+    if (args.prom) {
+      const Json* text = result->Find("text");
+      if (text == nullptr || !text->is_string()) {
+        return Fail(Status::Internal("metrics response has no text field"),
+                    args, "metrics");
+      }
+      std::fputs(text->AsString().c_str(), stdout);
+    } else if (args.json) {
+      std::printf("%s\n", response->Dump().c_str());
+    } else {
+      std::printf("%s\n", result->DumpPretty().c_str());
+    }
+    return 0;
+  }
 
   int exit_code = 0;
   auto round_trip = [&](const std::string& line) {

@@ -5,7 +5,7 @@
 //
 //   pfqld [--port N] [--workers N] [--queue N] [--cache N]
 //         [--timeout-ms N] [--program NAME=FILE]... [--data NAME=FILE]...
-//         [--faults SPEC] [--fault-seed N] [--quiet]
+//         [--faults SPEC] [--fault-seed N] [--quiet] [--log-json]
 //
 //   --port N          listen port on 127.0.0.1 (0 = ephemeral; the actual
 //                     port is printed as "pfqld listening on 127.0.0.1:P")
@@ -20,6 +20,9 @@
 //                     "server.tcp.write=p0.1,util.thread_pool.run=p0.5:20"
 //                     (same grammar as the PFQL_FAULTS env variable)
 //   --fault-seed N    seed for probability-triggered faults
+//   --log-json        one structured JSON log line per request on stderr
+//                     (trace id, method, deadline left, cache outcome,
+//                     degraded flag; schema in docs/OBSERVABILITY.md)
 //
 // Runs until SIGINT/SIGTERM. Exit status: 0 clean shutdown, 1 startup
 // failure (including port already in use), 2 usage error.
@@ -33,7 +36,7 @@ int Usage() {
                "[--cache N]\n"
                "             [--timeout-ms N] [--program NAME=FILE]...\n"
                "             [--data NAME=FILE]... [--faults SPEC]\n"
-               "             [--fault-seed N] [--quiet]\n");
+               "             [--fault-seed N] [--quiet] [--log-json]\n");
   return 2;
 }
 
