@@ -1,0 +1,46 @@
+// Evaluation backend tier selection for the sampling evaluators. The
+// interpreted tier re-walks the datalog interpretation on every step; the
+// compiled tier freezes the enumerated chain (markov/compiled_chain.h)
+// and steps it with alias draws. kAuto compiles when the chain fits the
+// compile budget and falls back to the interpreted tier when it does not.
+#ifndef PFQL_EVAL_BACKEND_H_
+#define PFQL_EVAL_BACKEND_H_
+
+#include <string_view>
+
+#include "util/status.h"
+
+namespace pfql {
+namespace eval {
+
+enum class Backend {
+  kAuto,         ///< compiled when the chain fits the budget, else interpreted
+  kInterpreted,  ///< always step through the interpretation (bit-stable)
+  kCompiled,     ///< compiled only; error when the chain exceeds the budget
+};
+
+inline const char* BackendToString(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto:
+      return "auto";
+    case Backend::kInterpreted:
+      return "interpreted";
+    case Backend::kCompiled:
+      return "compiled";
+  }
+  return "unknown";
+}
+
+inline StatusOr<Backend> BackendFromString(std::string_view name) {
+  if (name == "auto") return Backend::kAuto;
+  if (name == "interpreted") return Backend::kInterpreted;
+  if (name == "compiled") return Backend::kCompiled;
+  return Status::InvalidArgument(
+      "backend must be \"auto\", \"interpreted\", or \"compiled\" (got '" +
+      std::string(name) + "')");
+}
+
+}  // namespace eval
+}  // namespace pfql
+
+#endif  // PFQL_EVAL_BACKEND_H_

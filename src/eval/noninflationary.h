@@ -6,8 +6,10 @@
 #ifndef PFQL_EVAL_NONINFLATIONARY_H_
 #define PFQL_EVAL_NONINFLATIONARY_H_
 
+#include "eval/backend.h"
 #include "lang/event.h"
 #include "lang/interpretation.h"
+#include "markov/compiled_chain.h"
 #include "markov/state_space.h"
 #include "util/cancellation.h"
 #include "util/random.h"
@@ -58,6 +60,15 @@ struct McmcParams {
   /// least one completed sample yields a degraded result over the completed
   /// prefix. A sample interrupted mid-burn-in is discarded, never counted.
   bool allow_partial = false;
+  /// Evaluation tier. kInterpreted (the default) steps through the datalog
+  /// interpretation and is bit-stable with earlier releases; kAuto and
+  /// kCompiled run on the compiled chain tier (markov/compiled_chain.h),
+  /// whose estimates agree within the quantization error bound
+  /// (docs/INTERNALS.md §7). kAuto falls back to interpreted when the
+  /// chain exceeds compile_max_states; kCompiled errors instead.
+  Backend backend = Backend::kInterpreted;
+  /// State budget for compiling the chain (CompileOptions::max_states).
+  size_t compile_max_states = 1 << 12;
 
   size_t SampleCount() const;
 
@@ -75,6 +86,10 @@ struct McmcResult {
   size_t total_steps = 0;
   bool degraded = false;
   Status interruption;  ///< non-OK iff degraded
+  /// True when the compiled chain tier produced this result.
+  bool compiled = false;
+  size_t compiled_states = 0;  ///< chain states, when compiled
+  size_t compiled_edges = 0;   ///< chain transitions, when compiled
 };
 
 /// Thm 5.6: draws SampleCount() independent samples; each sample restarts
@@ -83,6 +98,12 @@ struct McmcResult {
 StatusOr<McmcResult> McmcForever(const ForeverQuery& query,
                                  const Instance& initial,
                                  const McmcParams& params, Rng* rng);
+
+/// Decorates a compile failure when backend=compiled was forced: keeps the
+/// cause's status code (so ResourceExhausted stays actionable) and prefixes
+/// a PFQL-E060 message naming the knob to turn. Shared by the MCMC and
+/// trajectory samplers.
+Status ForcedCompileError(const Status& cause);
 
 /// Convenience: measures the mixing time t(ε) of the induced chain from the
 /// initial state by explicit state-space construction (only feasible for

@@ -71,6 +71,8 @@ StatusOr<QueryResult> EvaluateForeverQuery(const ForeverQuery& query,
   McmcParams params;
   params.epsilon = options.approx.epsilon;
   params.delta = options.approx.delta;
+  params.backend = options.backend;
+  params.compile_max_states = options.compile_max_states;
   if (options.mcmc_burn_in.has_value()) {
     params.burn_in = *options.mcmc_burn_in;
   } else {
@@ -87,8 +89,9 @@ StatusOr<QueryResult> EvaluateForeverQuery(const ForeverQuery& query,
   result.estimate = mcmc.estimate;
   result.sampled = true;
   result.work = mcmc.samples;
-  result.method_used = "MCMC with burn-in " + std::to_string(params.burn_in) +
-                       " (Thm 5.6)";
+  result.method_used =
+      "MCMC with burn-in " + std::to_string(params.burn_in) +
+      (mcmc.compiled ? " (Thm 5.6, compiled chain)" : " (Thm 5.6)");
   return result;
 }
 

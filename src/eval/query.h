@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "eval/backend.h"
 #include "eval/inflationary.h"
 #include "eval/noninflationary.h"
 
@@ -40,6 +41,11 @@ struct QueryOptions {
   /// chain (requires the chain to fit in state_space budget and be
   /// ergodic); queries that exceed the budget need an explicit burn-in.
   std::optional<size_t> mcmc_burn_in;
+  /// Sampling-tier selection for the noninflationary samplers (see
+  /// eval/backend.h). kInterpreted keeps bit-stable legacy behavior.
+  Backend backend = Backend::kInterpreted;
+  /// State budget for the compiled tier.
+  size_t compile_max_states = 1 << 12;
 };
 
 /// What the facade computed.

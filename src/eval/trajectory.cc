@@ -1,5 +1,10 @@
 #include "eval/trajectory.h"
 
+#include <chrono>
+#include <utility>
+
+#include "eval/noninflationary.h"
+#include "markov/compiled_chain.h"
 #include "util/fault_injection.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -25,6 +30,93 @@ struct TrajectoryMetricsGuard {
   }
 };
 
+// Compiled-tier time averaging: all runs advance in one walker batch, hit
+// counting happens inside the wave loop (StepBatchCounting). The fault
+// point still fires once per run, before the batch starts; a fault at run
+// r truncates the batch to the completed prefix of r runs.
+StatusOr<TrajectoryResult> TimeAverageCompiled(const CompiledSpace& compiled,
+                                               const EventExpr::Ptr& event,
+                                               const TrajectoryParams& params,
+                                               size_t discard, Rng* rng) {
+  trace::Span span("trajectory.sample");
+  TrajectoryResult result;
+  TrajectoryMetricsGuard metrics_guard{&result};
+  result.compiled = true;
+  result.compiled_states = compiled.chain.num_states();
+  result.compiled_edges = compiled.chain.num_edges();
+  result.runs_requested = params.runs;
+
+  std::vector<uint8_t> event_states(compiled.space.states.size(), 0);
+  for (size_t s = 0; s < compiled.space.states.size(); ++s) {
+    PFQL_ASSIGN_OR_RETURN(bool holds,
+                          event->Holds(compiled.space.states[s]));
+    event_states[s] = holds ? 1 : 0;
+  }
+
+  size_t planned = params.runs;
+  Status fault_interruption;
+  for (size_t run = 0; run < params.runs; ++run) {
+    if (fault::InjectFault(fault::points::kTrajectoryRun)) {
+      fault_interruption = fault::InjectedError(fault::points::kTrajectoryRun);
+      planned = run;
+      break;
+    }
+  }
+
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<uint64_t> hits;
+  if (planned > 0) {
+    std::vector<uint32_t> walkers(planned, 0);  // all runs start at initial
+    Status stepped =
+        compiled.chain.StepBatchCounting(&walkers, params.steps, discard,
+                                         event_states, &hits, rng,
+                                         params.cancel);
+    if (!stepped.ok()) {
+      // Runs advance in lockstep: an interruption mid-batch leaves no
+      // completed run to salvage, degraded or not.
+      return stepped;
+    }
+  }
+
+  const size_t counted = params.steps - discard;
+  double total = 0.0;
+  for (size_t run = 0; run < planned; ++run) {
+    const double avg = counted == 0 ? 0.0
+                                    : static_cast<double>(hits[run]) /
+                                          static_cast<double>(counted);
+    result.per_run.push_back(avg);
+    total += avg;
+  }
+  result.total_steps = planned * params.steps;
+
+  auto& registry = metrics::MetricRegistry::Instance();
+  static metrics::Counter* const compiled_steps =
+      registry.GetCounter("pfql_compiled_steps_total", "kind=\"trajectory\"");
+  static metrics::Gauge* const compiled_rate =
+      registry.GetGauge("pfql_compiled_steps_per_sec", "kind=\"trajectory\"");
+  compiled_steps->Increment(result.total_steps);
+  const int64_t elapsed_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - started)
+          .count();
+  if (elapsed_us > 0 && result.total_steps > 0) {
+    compiled_rate->Set(static_cast<int64_t>(result.total_steps) * 1000000 /
+                       elapsed_us);
+  }
+
+  if (!fault_interruption.ok()) {
+    if (!params.allow_partial || result.per_run.empty()) {
+      return fault_interruption;
+    }
+    result.degraded = true;
+    result.interruption = std::move(fault_interruption);
+    result.estimate = total / static_cast<double>(result.per_run.size());
+    return result;
+  }
+  result.estimate = total / static_cast<double>(params.runs);
+  return result;
+}
+
 }  // namespace
 
 StatusOr<TrajectoryResult> TimeAverageEstimate(const Interpretation& kernel,
@@ -42,6 +134,23 @@ StatusOr<TrajectoryResult> TimeAverageEstimate(const Interpretation& kernel,
   const size_t discard =
       static_cast<size_t>(params.discard_fraction *
                           static_cast<double>(params.steps));
+
+  if (params.backend != Backend::kInterpreted) {
+    CompileOptions copts;
+    copts.max_states = params.compile_max_states;
+    copts.cancel = params.cancel;
+    auto compiled = GetOrCompile(kernel, initial, copts);
+    if (compiled.ok()) {
+      return TimeAverageCompiled(**compiled, event, params, discard, rng);
+    }
+    if (params.backend == Backend::kCompiled) {
+      return ForcedCompileError(compiled.status());
+    }
+    if (compiled.status().code() != StatusCode::kResourceExhausted) {
+      return compiled.status();
+    }
+    // kAuto and the chain exceeded the compile budget: interpreted tier.
+  }
 
   trace::Span span("trajectory.sample");
   TrajectoryResult result;

@@ -16,6 +16,7 @@
 
 #include <vector>
 
+#include "eval/backend.h"
 #include "lang/event.h"
 #include "lang/interpretation.h"
 #include "util/cancellation.h"
@@ -40,6 +41,13 @@ struct TrajectoryParams {
   /// least one completed run yields a degraded result averaged over the
   /// completed runs; a run interrupted mid-trajectory is discarded.
   bool allow_partial = false;
+  /// Evaluation tier (see eval/backend.h). kInterpreted is the bit-stable
+  /// default; kAuto/kCompiled batch all runs as compiled-chain walkers.
+  /// Note the compiled tier advances runs in lockstep, so an interruption
+  /// discards the whole batch (no partially-completed-run prefix).
+  Backend backend = Backend::kInterpreted;
+  /// State budget for compiling the chain (CompileOptions::max_states).
+  size_t compile_max_states = 1 << 12;
 };
 
 struct TrajectoryResult {
@@ -52,6 +60,10 @@ struct TrajectoryResult {
   size_t total_steps = 0;
   bool degraded = false;
   Status interruption;  ///< non-OK iff degraded
+  /// True when the compiled chain tier produced this result.
+  bool compiled = false;
+  size_t compiled_states = 0;  ///< chain states, when compiled
+  size_t compiled_edges = 0;   ///< chain transitions, when compiled
 };
 
 /// Time-average estimate of a general-event forever query.

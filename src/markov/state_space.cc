@@ -1,5 +1,6 @@
 #include "markov/state_space.h"
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <thread>
@@ -120,8 +121,10 @@ StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
 
   std::vector<std::optional<StatusOr<Distribution<Instance>>>> results;
   size_t wave_begin = 0;
+  size_t peak_wave = 0;
   while (wave_begin < space.states.size()) {
     const size_t wave_end = space.states.size();
+    peak_wave = std::max(peak_wave, wave_end - wave_begin);
     results.assign(wave_end - wave_begin, std::nullopt);
     waves_counter->Increment();
     trace::Span wave_span("state_space.wave");
@@ -138,11 +141,17 @@ StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
         auto [to, inserted] =
             space.index.Intern(std::move(outcome.value), &space.states);
         if (inserted && space.states.size() > options.max_states) {
+          // The interner count and peak wave width guide budget tuning:
+          // a wide peak wave means the next wave multiplies the state
+          // count, so a small max_states bump will not help.
           return Status::ResourceExhausted(
               "state space exceeds max_states = " +
               std::to_string(options.max_states) + " (explored " +
-              std::to_string(space.states.size()) +
-              " states; raise max_states or use the sampling path)");
+              std::to_string(space.states.size()) + " states; interner holds " +
+              std::to_string(space.index.size()) +
+              " live instances; peak wave width " +
+              std::to_string(peak_wave) +
+              "; raise max_states or use the sampling path)");
         }
         edges.push_back({from, to, std::move(outcome.probability)});
       }

@@ -188,6 +188,9 @@ StatusOr<Json> ExecuteMcmc(const Request& request,
   params.cancel = cancel;
   params.max_samples = request.max_samples;
   params.allow_partial = request.allow_partial;
+  PFQL_ASSIGN_OR_RETURN(params.backend,
+                        eval::BackendFromString(request.backend));
+  params.compile_max_states = request.compile_max_states;
   bool measured = false;
   if (request.burn_in.has_value()) {
     params.burn_in = *request.burn_in;
@@ -216,6 +219,11 @@ StatusOr<Json> ExecuteMcmc(const Request& request,
   payload.Set("burn_in", params.burn_in);
   payload.Set("burn_in_measured", measured);
   payload.Set("total_steps", r.total_steps);
+  payload.Set("backend", r.compiled ? "compiled" : "interpreted");
+  if (r.compiled) {
+    payload.Set("compiled_states", r.compiled_states);
+    payload.Set("compiled_edges", r.compiled_edges);
+  }
   if (r.degraded) {
     CountDegraded("mcmc", r.interruption.code());
     SetDegradedSampling(r.interruption, r.samples, params.delta, &payload);
@@ -257,6 +265,9 @@ StatusOr<Json> ExecuteTrajectory(const Request& request,
   params.runs = request.runs;
   params.cancel = cancel;
   params.allow_partial = request.allow_partial;
+  PFQL_ASSIGN_OR_RETURN(params.backend,
+                        eval::BackendFromString(request.backend));
+  params.compile_max_states = request.compile_max_states;
   Rng rng(request.seed);
   PFQL_ASSIGN_OR_RETURN(
       eval::TrajectoryResult r,
@@ -269,6 +280,11 @@ StatusOr<Json> ExecuteTrajectory(const Request& request,
   payload.Set("runs_requested", r.runs_requested);
   payload.Set("steps_per_run", request.steps);
   payload.Set("total_steps", r.total_steps);
+  payload.Set("backend", r.compiled ? "compiled" : "interpreted");
+  if (r.compiled) {
+    payload.Set("compiled_states", r.compiled_states);
+    payload.Set("compiled_edges", r.compiled_edges);
+  }
   if (r.degraded) {
     // No Hoeffding bound for time averages; report a normal-approximation
     // 95% CI over the completed per-run averages instead.

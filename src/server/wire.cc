@@ -109,17 +109,25 @@ std::string Request::CacheParams() const {
       out += ";max_states=" + std::to_string(max_states);
       break;
     case RequestKind::kMcmc:
+      // backend + compile_max_states are value-affecting: the compiled
+      // tier quantizes probabilities, so its estimates must never alias a
+      // cached interpreted payload (or a differently-budgeted compiled
+      // one) under the same key.
       out += ";eps=" + std::to_string(epsilon) +
              ";delta=" + std::to_string(delta) +
              ";seed=" + std::to_string(seed) + ";burn_in=" +
              (burn_in.has_value() ? std::to_string(*burn_in) : "auto") +
              ";max_states=" + std::to_string(max_states) +
-             ";max_samples=" + std::to_string(max_samples);
+             ";max_samples=" + std::to_string(max_samples) +
+             ";backend=" + backend +
+             ";compile_max_states=" + std::to_string(compile_max_states);
       break;
     case RequestKind::kTrajectory:
       out += ";steps=" + std::to_string(steps) +
              ";runs=" + std::to_string(runs) +
-             ";seed=" + std::to_string(seed);
+             ";seed=" + std::to_string(seed) +
+             ";backend=" + backend +
+             ";compile_max_states=" + std::to_string(compile_max_states);
       break;
     default:
       break;
@@ -209,6 +217,20 @@ StatusOr<Request> ParseRequest(const Json& json) {
           "field 'format' must be \"json\" or \"prometheus\"");
     }
   }
+  PFQL_ASSIGN_OR_RETURN(request.backend, json.GetString("backend", "auto"));
+  if (request.backend != "auto" && request.backend != "interpreted" &&
+      request.backend != "compiled") {
+    return Status::InvalidArgument(
+        "field 'backend' must be \"auto\", \"interpreted\", or \"compiled\"");
+  }
+  if (request.backend != "auto" && request.kind != RequestKind::kMcmc &&
+      request.kind != RequestKind::kTrajectory) {
+    return Status::InvalidArgument(
+        "'backend' only applies to methods 'mcmc' and 'trajectory'");
+  }
+  PFQL_RETURN_NOT_OK(positive_size("compile_max_states",
+                                   request.compile_max_states,
+                                   &request.compile_max_states));
   PFQL_ASSIGN_OR_RETURN(request.fallback, json.GetString("fallback", ""));
   if (!request.fallback.empty()) {
     if (request.fallback != "approx") {

@@ -91,6 +91,14 @@ struct Request {
   /// when the deadline fires mid-sampling. On by default at the wire layer
   /// (a server client prefers a partial answer over a timeout).
   bool allow_partial = true;
+  /// mcmc/trajectory: evaluation tier — "auto" (compiled when the chain
+  /// fits compile_max_states, else interpreted), "interpreted", or
+  /// "compiled" (error when the chain exceeds the budget). The server
+  /// defaults to "auto": wire clients get the compiled fast path whenever
+  /// the chain is enumerable.
+  std::string backend = "auto";
+  /// mcmc/trajectory: state budget of the compiled tier.
+  size_t compile_max_states = 1 << 12;
   /// "exact" only: "approx" re-dispatches to Thm 4.3 sampling with the
   /// remaining deadline when exact evaluation exhausts its budget. Empty =
   /// no fallback.

@@ -174,6 +174,98 @@ TEST_P(DifferentialTest, TrajectoryAgreesWithExactForever) {
       << "seed " << GetParam();
 }
 
+// ---- Compiled-tier variants ------------------------------------------
+// The compiled backend quantizes transition probabilities to 1/65535
+// units, perturbing each step's distribution by at most k/(2*65535) in
+// total variation — orders of magnitude below kEpsilon, so the agreement
+// margin gains a token 0.005 of slack and nothing more.
+constexpr double kQuantSlack = 0.005;
+
+TEST_P(DifferentialTest, CompiledMcmcAgreesWithExactForever) {
+  auto wq = gadgets::RandomWalkQuery(gadgets::Complete(4), 0);
+  ASSERT_TRUE(wq.ok());
+  const ForeverQuery query{wq->kernel, gadgets::WalkAtNode(1)};
+
+  QueryOptions exact_options;
+  Rng exact_rng(1);
+  auto exact = EvaluateForeverQuery(query, wq->initial, exact_options,
+                                    &exact_rng);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  ASSERT_TRUE(exact->exact.has_value());
+
+  QueryOptions sampling_options;
+  sampling_options.method = Method::kSampling;
+  sampling_options.approx.epsilon = kEpsilon;
+  sampling_options.approx.delta = kDelta;
+  sampling_options.backend = Backend::kCompiled;
+  Rng rng(GetParam());
+  auto sampled = EvaluateForeverQuery(query, wq->initial, sampling_options,
+                                      &rng);
+  ASSERT_TRUE(sampled.ok()) << sampled.status();
+  EXPECT_TRUE(sampled->sampled);
+  EXPECT_NE(sampled->method_used.find("compiled"), std::string::npos)
+      << sampled->method_used;
+  EXPECT_NEAR(sampled->estimate, exact->exact->ToDouble(),
+              kEpsilon + kQuantSlack)
+      << "seed " << GetParam();
+}
+
+TEST_P(DifferentialTest, CompiledMcmcAgreesWithExactOnReducibleChain) {
+  gadgets::Graph g;
+  g.num_nodes = 3;
+  g.edges = {{0, 1, 1.0}, {0, 2, 3.0}, {1, 1, 1.0}, {2, 2, 1.0}};
+  auto wq = gadgets::RandomWalkQuery(g, 0);
+  ASSERT_TRUE(wq.ok());
+  const ForeverQuery query{wq->kernel, gadgets::WalkAtNode(2)};
+
+  QueryOptions sampling_options;
+  sampling_options.method = Method::kSampling;
+  sampling_options.approx.epsilon = kEpsilon;
+  sampling_options.approx.delta = kDelta;
+  sampling_options.mcmc_burn_in = 8;
+  sampling_options.backend = Backend::kCompiled;
+  Rng rng(GetParam());
+  auto sampled = EvaluateForeverQuery(query, wq->initial, sampling_options,
+                                      &rng);
+  ASSERT_TRUE(sampled.ok()) << sampled.status();
+  EXPECT_NEAR(sampled->estimate, 0.75, kEpsilon + kQuantSlack)
+      << "seed " << GetParam();
+}
+
+TEST_P(DifferentialTest, CompiledTrajectoryAgreesWithExactForever) {
+  auto wq = gadgets::RandomWalkQuery(gadgets::Complete(4), 0);
+  ASSERT_TRUE(wq.ok());
+  const ForeverQuery query{wq->kernel, gadgets::WalkAtNode(1)};
+
+  QueryOptions exact_options;
+  Rng exact_rng(1);
+  auto exact = EvaluateForeverQuery(query, wq->initial, exact_options,
+                                    &exact_rng);
+  ASSERT_TRUE(exact.ok()) << exact.status();
+  ASSERT_TRUE(exact->exact.has_value());
+
+  TrajectoryParams params;
+  params.steps = 2000;
+  params.runs = 16;
+  params.backend = Backend::kCompiled;
+  Rng rng(GetParam());
+  auto result = TimeAverageEstimate(query, wq->initial, params, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->compiled);
+  ASSERT_EQ(result->per_run.size(), params.runs);
+
+  double variance = 0.0;
+  for (double r : result->per_run) {
+    variance += (r - result->estimate) * (r - result->estimate);
+  }
+  variance /= static_cast<double>(result->per_run.size() - 1);
+  const double stderr_runs =
+      std::sqrt(variance / static_cast<double>(result->per_run.size()));
+  const double halfwidth = std::max(2.0 * stderr_runs, kEpsilon + kQuantSlack);
+  EXPECT_NEAR(result->estimate, exact->exact->ToDouble(), halfwidth)
+      << "seed " << GetParam();
+}
+
 // 50 consecutive seeds; every instantiation must pass (the CI acceptance
 // criterion for the differential suite).
 INSTANTIATE_TEST_SUITE_P(FiftySeeds, DifferentialTest,

@@ -94,6 +94,13 @@ TEST(StateSpaceTest, MaxStatesGuard) {
   auto space = BuildStateSpace(WalkKernel(), WalkInstance(), options);
   EXPECT_FALSE(space.ok());
   EXPECT_EQ(space.status().code(), StatusCode::kResourceExhausted);
+  // The budget error reports enough to size a retry: interner pressure and
+  // the widest BFS wave alongside the explored-state count.
+  const std::string message = space.status().message();
+  EXPECT_NE(message.find("explored"), std::string::npos) << message;
+  EXPECT_NE(message.find("max_states"), std::string::npos) << message;
+  EXPECT_NE(message.find("interner holds"), std::string::npos) << message;
+  EXPECT_NE(message.find("peak wave width"), std::string::npos) << message;
 }
 
 TEST(StateSpaceTest, DeterministicKernelSingleSuccessor) {

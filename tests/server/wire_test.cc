@@ -218,6 +218,58 @@ TEST(WireTest, CacheParamsKeysSampleBudgetForSampledKinds) {
   }
 }
 
+TEST(WireTest, CacheParamsKeysBackendForSampledWalkKinds) {
+  // The compiled tier quantizes probabilities, so its estimates must not
+  // alias cached interpreted payloads (and vice versa) under one key.
+  for (RequestKind kind : {RequestKind::kMcmc, RequestKind::kTrajectory}) {
+    Request a = QueryRequest(kind);
+    Request b = QueryRequest(kind);
+    b.backend = "compiled";
+    EXPECT_NE(a.CacheParams(), b.CacheParams())
+        << RequestKindToString(kind);
+
+    Request c = QueryRequest(kind);
+    c.backend = b.backend;
+    c.compile_max_states = b.compile_max_states * 2;
+    EXPECT_NE(b.CacheParams(), c.CacheParams())
+        << RequestKindToString(kind);
+  }
+  // Kinds that never touch the compiled tier ignore both knobs.
+  for (RequestKind kind : {RequestKind::kExact, RequestKind::kForever,
+                           RequestKind::kApprox, RequestKind::kRun}) {
+    Request a = QueryRequest(kind);
+    Request b = QueryRequest(kind);
+    b.backend = "compiled";
+    b.compile_max_states = 99;
+    EXPECT_EQ(a.CacheParams(), b.CacheParams())
+        << RequestKindToString(kind);
+  }
+}
+
+TEST(WireTest, ParseRequestValidatesBackend) {
+  auto ok = ParseRequestLine(
+      "{\"method\":\"mcmc\",\"program_text\":\"p(0).\",\"event\":\"p(0)\","
+      "\"backend\":\"compiled\",\"compile_max_states\":64}");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->backend, "compiled");
+  EXPECT_EQ(ok->compile_max_states, 64u);
+  // Unknown tier name.
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"mcmc\",\"program_text\":\"p(0).\","
+                   "\"event\":\"p(0)\",\"backend\":\"jit\"}")
+                   .ok());
+  // Tier selection is meaningless outside mcmc/trajectory.
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"exact\",\"program_text\":\"p(0).\","
+                   "\"event\":\"p(0)\",\"backend\":\"compiled\"}")
+                   .ok());
+  // Budget must be positive.
+  EXPECT_FALSE(ParseRequestLine(
+                   "{\"method\":\"mcmc\",\"program_text\":\"p(0).\","
+                   "\"event\":\"p(0)\",\"compile_max_states\":0}")
+                   .ok());
+}
+
 TEST(WireTest, CacheParamsIgnoresDeadline) {
   Request a = QueryRequest(RequestKind::kExact);
   Request b = QueryRequest(RequestKind::kExact);

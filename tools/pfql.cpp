@@ -58,6 +58,8 @@ int Usage() {
       "            [--max-states N] [--max-nodes N] [--burn-in N|auto]\n"
       "            [--steps N] [--runs N] [--timeout-ms N] [--json]\n"
       "            [--max-samples N] [--fallback approx]\n"
+      "            [--backend auto|interpreted|compiled]\n"
+      "            [--compile-max-states N]\n"
       "       pfql client --port N [--request '<json>'] [--retries N]\n"
       "            [--max-backoff-ms N] [--attempt-timeout-ms N]\n"
       "       pfql client metrics --port N [--prom]\n");
@@ -169,6 +171,16 @@ void PrintDegradedNote(const Json& payload) {
   }
 }
 
+// mcmc/trajectory with the compiled tier: say which engine produced the
+// estimate and how big the frozen chain was (docs/INTERNALS.md section 7).
+void PrintCompiledNote(const Json& payload) {
+  if (GetString(payload, "backend") != "compiled") return;
+  std::printf("%% COMPILED: chain frozen to %lld states / %lld edges "
+              "(alias sampling)\n",
+              static_cast<long long>(GetInt(payload, "compiled_states")),
+              static_cast<long long>(GetInt(payload, "compiled_edges")));
+}
+
 void PrintHumanResult(server::RequestKind kind, const Json& payload) {
   const std::string event = GetString(payload, "event");
   if (kind == server::RequestKind::kExact &&
@@ -181,6 +193,7 @@ void PrintHumanResult(server::RequestKind kind, const Json& payload) {
     return;
   }
   PrintDegradedNote(payload);
+  PrintCompiledNote(payload);
   switch (kind) {
     case server::RequestKind::kRun:
       std::printf("%% fixpoint after %lld steps\n%s",
@@ -431,10 +444,19 @@ int main(int argc, char** argv) {
     request.threads = std::stoull(args.Get("threads", "1"));
     request.timeout_ms = std::stoll(args.Get("timeout-ms", "0"));
     request.max_samples = std::stoull(args.Get("max-samples", "0"));
+    request.compile_max_states =
+        std::stoull(args.Get("compile-max-states", "4096"));
     const std::string burn = args.Get("burn-in", "auto");
     if (burn != "auto") request.burn_in = std::stoull(burn);
   } catch (const std::exception&) {
     return Fail(Status::InvalidArgument("malformed numeric flag value"),
+                args, args.mode);
+  }
+  request.backend = args.Get("backend", "auto");
+  if (request.backend != "auto" && request.backend != "interpreted" &&
+      request.backend != "compiled") {
+    return Fail(Status::InvalidArgument(
+                    "--backend must be auto, interpreted, or compiled"),
                 args, args.mode);
   }
   if (args.Has("fallback")) {
