@@ -1,0 +1,194 @@
+// Cost-model planner benchmark: measures what the PR7 admission gate buys.
+//   (a) analysis latency: AnalyzeCost over every example program and a
+//       family of synthetic choice programs — the gate runs on every
+//       request, so it must stay well under a millisecond;
+//   (b) rejection-vs-timeout win: wall-clock of the upfront PFQL-E070
+//       rejection vs actually exhausting the same budget in the
+//       state-space BFS the gate predicts and skips.
+// Emits BENCH_pr7.json next to the human-readable table and exits
+// non-zero if the mean analysis latency exceeds 1 ms or the rejection is
+// not faster than the enumeration it replaces — the CI perf-smoke gate.
+//
+//   bench_plan [analysis_reps] [choice_keys]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/cost_model.h"
+#include "bench/bench_util.h"
+#include "datalog/program.h"
+#include "datalog/translate.h"
+#include "markov/state_space.h"
+#include "relational/instance.h"
+#include "util/json.h"
+
+using namespace pfql;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct NamedProgram {
+  std::string name;
+  datalog::Program program;
+};
+
+datalog::Program MustParse(const std::string& source, const char* what) {
+  auto program = datalog::ParseProgram(source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "bench_plan: cannot parse %s: %s\n", what,
+                 program.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *std::move(program);
+}
+
+/// keys independent binary choices: 2^keys + 1 reachable states, fully
+/// certified by the lower bound — the E070 trigger at small budgets.
+std::string ChoiceSource(int keys) {
+  std::string source;
+  for (int k = 0; k < keys; ++k) {
+    source += "opt(" + std::to_string(k) + ", 0).\n";
+    source += "opt(" + std::to_string(k) + ", 1).\n";
+  }
+  source += "pick(<K>, V) :- opt(K, V).\n";
+  return source;
+}
+
+std::vector<NamedProgram> LoadExamples() {
+  std::vector<NamedProgram> programs;
+  const fs::path dir = "examples/programs";
+  if (!fs::exists(dir)) {
+    std::fprintf(stderr,
+                 "bench_plan: run from the repo root (no %s)\n",
+                 dir.string().c_str());
+    std::exit(1);
+  }
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".dl") continue;
+    std::ifstream in(entry.path());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    programs.push_back({entry.path().filename().string(),
+                        MustParse(buffer.str(),
+                                  entry.path().string().c_str())});
+  }
+  return programs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int reps = argc > 1 ? std::atoi(argv[1]) : 200;
+  const int keys = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  Json results = Json::Object();
+
+  // (a) Analysis latency per example program.
+  std::printf("== analysis latency (%d reps each) ==\n", reps);
+  bench::PrintRow({"program", "mean_us", "states_lo", "states_hi"});
+  Json latency = Json::Object();
+  double worst_mean_us = 0;
+  for (const auto& [name, program] : LoadExamples()) {
+    analysis::CostOptions options;
+    analysis::CostReport report;
+    const double ms = bench::TimeMs([&] {
+      for (int i = 0; i < reps; ++i) {
+        report = analysis::AnalyzeCost(program, options, nullptr);
+      }
+    });
+    const double mean_us = ms * 1000.0 / reps;
+    worst_mean_us = std::max(worst_mean_us, mean_us);
+    bench::PrintRow({name, bench::Fmt(mean_us), bench::FmtInt(report.states.lo),
+                     report.states.bounded() ? bench::FmtInt(report.states.hi)
+                                             : "inf"});
+    Json entry = Json::Object();
+    entry.Set("mean_us", mean_us);
+    entry.Set("states_lo", static_cast<int64_t>(report.states.lo));
+    latency.Set(name, std::move(entry));
+  }
+  results.Set("analysis_latency", std::move(latency));
+  results.Set("worst_mean_us", worst_mean_us);
+
+  // (b) Rejection vs the enumeration it skips: a 2^keys-state chain
+  // against a budget it provably exceeds. The gate's cost is one
+  // AnalyzeCost; the alternative is a BFS that churns to ResourceExhausted.
+  const datalog::Program choice =
+      MustParse(ChoiceSource(keys), "choice program");
+  const Instance empty;
+  constexpr size_t kBudget = 1 << 12;
+
+  analysis::CostOptions options;
+  options.max_states = kBudget;
+  double reject_ms = 0;
+  bool rejected = false;
+  reject_ms = bench::TimeMs([&] {
+    const analysis::CostReport report =
+        analysis::AnalyzeCost(choice, options, nullptr);
+    rejected = report.states.lo > kBudget;
+  });
+
+  double exhaust_ms = 0;
+  {
+    auto translated = datalog::TranslateNonInflationary(choice, empty);
+    if (!translated.ok()) {
+      std::fprintf(stderr, "bench_plan: translate failed: %s\n",
+                   translated.status().ToString().c_str());
+      return 1;
+    }
+    StateSpaceOptions space;
+    space.max_states = kBudget;
+    Status status = Status::OK();
+    exhaust_ms = bench::TimeMs([&] {
+      auto result =
+          BuildStateSpace(translated->kernel, translated->initial, space);
+      status = result.status();
+    });
+    if (status.code() != StatusCode::kResourceExhausted) {
+      std::fprintf(stderr,
+                   "bench_plan: expected ResourceExhausted, got %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+
+  std::printf("\n== E070 rejection vs budget exhaustion (2^%d states, "
+              "budget %zu) ==\n",
+              keys, kBudget);
+  bench::PrintRow({"path", "ms"});
+  bench::PrintRow({"plan_reject", bench::Fmt(reject_ms)});
+  bench::PrintRow({"bfs_exhaust", bench::Fmt(exhaust_ms)});
+  const double win = reject_ms > 0 ? exhaust_ms / reject_ms : 0;
+  std::printf("rejection is %.0fx faster\n", win);
+  results.Set("reject_ms", reject_ms);
+  results.Set("exhaust_ms", exhaust_ms);
+  results.Set("win_factor", win);
+
+  std::ofstream out("BENCH_pr7.json");
+  out << results.DumpPretty() << "\n";
+
+  if (!rejected) {
+    std::fprintf(stderr,
+                 "bench_plan: FAIL: lower bound did not certify the "
+                 "over-budget chain\n");
+    return 1;
+  }
+  if (worst_mean_us > 1000.0) {
+    std::fprintf(stderr,
+                 "bench_plan: FAIL: analysis latency %.1f us exceeds 1 ms\n",
+                 worst_mean_us);
+    return 1;
+  }
+  if (reject_ms >= exhaust_ms) {
+    std::fprintf(stderr,
+                 "bench_plan: FAIL: rejection (%.3f ms) not faster than "
+                 "exhaustion (%.3f ms)\n",
+                 reject_ms, exhaust_ms);
+    return 1;
+  }
+  return 0;
+}

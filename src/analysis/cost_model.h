@@ -1,0 +1,133 @@
+// Cost & chain-structure abstract interpretation (the second-generation
+// analysis layer). Without executing anything, the pass suite
+//
+//  * infers per-predicate cardinality intervals by a monotone fixpoint over
+//    the rule graph, capped by the active-domain bound |adom|^arity
+//    (Prop 5.4's source of EXPTIME) and by repair-key group counts;
+//  * derives a sound interval [lo, hi] on the number of database states the
+//    noninflationary chain (Def 3.2 reading) can reach, where `hi` is a
+//    worst-case upper bound proven against BuildStateSpace and `lo` is a
+//    certified lower bound (states that provably *are* reachable — the safe
+//    side for rejecting over-budget requests upfront);
+//  * classifies chain structure from the rule graph: the deterministic vs
+//    probabilistic rule partition, guaranteed-absorbing ("stationary")
+//    predicates, memorylessness, and the reducibility/periodicity risks
+//    that decide whether Thm 5.6's mixing-time assumption is plausible;
+//  * emits a machine-readable CostReport with a compiled-backend
+//    eligibility verdict and a recommended sampler kind, which the server
+//    executor consults before spending any evaluation budget.
+//
+// Reading EDB *statistics* (tuple counts, distinct key groups) is fair game
+// for a planner — like a database optimizer's catalog statistics — and is
+// linear in the data; no kernel application or sampling happens here.
+#ifndef PFQL_ANALYSIS_COST_MODEL_H_
+#define PFQL_ANALYSIS_COST_MODEL_H_
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+
+#include "analysis/diagnostic.h"
+#include "datalog/program.h"
+#include "relational/instance.h"
+#include "util/json.h"
+
+namespace pfql {
+namespace analysis {
+
+/// Saturating "infinity" for cost arithmetic.
+inline constexpr uint64_t kCostUnbounded =
+    std::numeric_limits<uint64_t>::max();
+
+/// Saturating arithmetic over [0, kCostUnbounded]; kCostUnbounded absorbs.
+uint64_t CostAdd(uint64_t a, uint64_t b);
+uint64_t CostMul(uint64_t a, uint64_t b);
+uint64_t CostPow(uint64_t base, uint64_t exp);
+
+/// A closed interval of counts. Default: "no information" = [0, unbounded].
+struct CostInterval {
+  uint64_t lo = 0;
+  uint64_t hi = kCostUnbounded;
+
+  bool bounded() const { return hi != kCostUnbounded; }
+  /// {"lo": ..., "hi": ..., "bounded": ...}; hi clamps to int64 max.
+  Json ToJson() const;
+};
+
+/// Rule-graph classification of the induced Markov chain (the Thm 5.6
+/// parameters as far as they are visible statically).
+struct ChainStructure {
+  size_t deterministic_rules = 0;
+  size_t probabilistic_rules = 0;
+  /// Every probabilistic rule's body reads only EDB predicates: the
+  /// repair-key choices are state-independent.
+  bool state_independent_choices = false;
+  /// Every rule body reads only EDB predicates: the next state does not
+  /// depend on the current state at all, so the chain is a sequence of
+  /// i.i.d. draws and mixes in exactly one step.
+  bool memoryless = false;
+  /// IDB predicates whose rules (and transitive IDB contributors) are all
+  /// deterministic: their noninflationary trajectory is monotone from the
+  /// empty start, hence reaches a fixpoint — guaranteed absorbing.
+  std::set<std::string> stationary_predicates;
+  /// A probabilistic choice ranges over a recursive predicate (directly or
+  /// through its body): the chain may be reducible, and MCMC restarts can
+  /// be biased toward the initial basin (Thm 5.6's ergodicity caveat).
+  bool reducibility_risk = false;
+  /// A deterministic recursive predicate is fed by probabilistic choices:
+  /// deterministic copying of re-chosen values can cycle with period > 1.
+  bool periodicity_risk = false;
+
+  Json ToJson() const;
+};
+
+/// The machine-readable planning verdict (wire method "plan").
+struct CostReport {
+  /// Per-predicate tuple-count interval over reachable states.
+  std::map<std::string, CostInterval> cardinalities;
+  /// Active-domain size (EDB values + program constants); only meaningful
+  /// when `has_data`, else unbounded.
+  uint64_t adom_size = kCostUnbounded;
+  /// Reachable database states of the noninflationary chain.
+  CostInterval states;
+  /// Transitions of the chain (edges of the state graph).
+  CostInterval edges;
+  ChainStructure structure;
+  /// True when EDB statistics were available (an Instance was supplied).
+  bool has_data = false;
+  /// "compiled" (chain provably fits compile_max_states), "interpreted"
+  /// (chain provably exceeds it — a compile attempt is doomed), or
+  /// "unknown".
+  std::string backend_verdict = "unknown";
+  /// "exact" | "mcmc" | "trajectory": the cheapest sound method given the
+  /// bounds and structure.
+  std::string recommended_sampler = "mcmc";
+
+  Json ToJson() const;
+};
+
+struct CostOptions {
+  /// EDB statistics source; null = analyze the program alone (bounds
+  /// degrade to "unbounded" wherever data sizes matter).
+  const Instance* edb = nullptr;
+  /// Exact-evaluation state budget (forever/partition; StateSpaceOptions).
+  uint64_t max_states = 1 << 14;
+  /// Compiled-tier state budget (CompileOptions::max_states).
+  uint64_t compile_max_states = 1 << 12;
+  /// Report W070/W071 warnings and N070-N073 structure notes into the
+  /// sink; errors (none today — E070 is the *executor's* rejection) would
+  /// be reported regardless.
+  bool emit_diagnostics = true;
+};
+
+/// Runs the cost-model pass suite. Pure analysis: never applies the kernel,
+/// never samples; O(|program|^2 + |edb|) time.
+CostReport AnalyzeCost(const datalog::Program& program,
+                       const CostOptions& options, DiagnosticSink* sink);
+
+}  // namespace analysis
+}  // namespace pfql
+
+#endif  // PFQL_ANALYSIS_COST_MODEL_H_

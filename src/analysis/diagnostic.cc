@@ -64,6 +64,19 @@ const std::vector<DiagnosticCodeInfo>& AllDiagnosticCodes() {
       {kCodeNonLinearRule, Severity::kNote, "rule outside linear datalog"},
       {kCodeProvablyInflationary, Severity::kNote,
        "kernel provably inflationary (Def 3.4)"},
+      {kCodePlanOverBudget, Severity::kError,
+       "predicted state space exceeds the evaluation budget"},
+      {kCodeUnboundedStateSpace, Severity::kWarning,
+       "state-space bound unknown or unbounded"},
+      {kCodeReducibilityRisk, Severity::kWarning,
+       "chain may be reducible or periodic"},
+      {kCodeChainStructure, Severity::kNote, "chain structure summary"},
+      {kCodeMemorylessChain, Severity::kNote,
+       "memoryless chain (mixes in one step)"},
+      {kCodeStationaryPredicates, Severity::kNote,
+       "predicates guaranteed to absorb"},
+      {kCodeBackendEligibility, Severity::kNote,
+       "compiled-backend eligibility verdict"},
   };
   return kCodes;
 }

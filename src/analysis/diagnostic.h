@@ -57,6 +57,14 @@ inline constexpr char kCodeNoProbabilisticRules[] = "PFQL-N041";
 inline constexpr char kCodeBoundedStateSpace[] = "PFQL-N042";
 inline constexpr char kCodeNonLinearRule[] = "PFQL-N044";
 inline constexpr char kCodeProvablyInflationary[] = "PFQL-N052";
+// Cost-model / execution-planning codes (docs/ANALYSIS.md §cost model).
+inline constexpr char kCodePlanOverBudget[] = "PFQL-E070";
+inline constexpr char kCodeUnboundedStateSpace[] = "PFQL-W070";
+inline constexpr char kCodeReducibilityRisk[] = "PFQL-W071";
+inline constexpr char kCodeChainStructure[] = "PFQL-N070";
+inline constexpr char kCodeMemorylessChain[] = "PFQL-N071";
+inline constexpr char kCodeStationaryPredicates[] = "PFQL-N072";
+inline constexpr char kCodeBackendEligibility[] = "PFQL-N073";
 
 /// One entry of the code registry (used by docs tests and `pfql-lint
 /// --codes` to keep docs/ANALYSIS.md exhaustive).

@@ -1,0 +1,126 @@
+#include "analysis/sarif.h"
+
+#include <cstddef>
+#include <map>
+
+namespace pfql {
+namespace analysis {
+namespace {
+
+/// SARIF "level" values map 1:1 onto our severities.
+const char* SarifLevel(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "none";
+}
+
+Json RuleDescriptor(const DiagnosticCodeInfo& info) {
+  Json rule = Json::Object();
+  rule.Set("id", Json(std::string(info.code)));
+  Json desc = Json::Object();
+  desc.Set("text", Json(std::string(info.title)));
+  rule.Set("shortDescription", desc);
+  Json config = Json::Object();
+  config.Set("level", Json(std::string(SarifLevel(info.default_severity))));
+  rule.Set("defaultConfiguration", config);
+  return rule;
+}
+
+/// physicalLocation for `uri`; only adds a region when the span is valid
+/// (SARIF line/column numbers are 1-based, like SourcePos, but a zero or
+/// missing position must be omitted, never serialized as 0).
+Json PhysicalLocation(const std::string& uri, const SourceSpan& span) {
+  Json location = Json::Object();
+  Json physical = Json::Object();
+  Json artifact = Json::Object();
+  artifact.Set("uri", Json(uri));
+  physical.Set("artifactLocation", artifact);
+  if (span.valid()) {
+    Json region = Json::Object();
+    region.Set("startLine", Json(static_cast<int64_t>(span.begin.line)));
+    region.Set("startColumn",
+               Json(static_cast<int64_t>(
+                   span.begin.column > 0 ? span.begin.column : 1)));
+    if (span.end.valid() && (span.end.line > span.begin.line ||
+                             span.end.column > span.begin.column)) {
+      region.Set("endLine", Json(static_cast<int64_t>(span.end.line)));
+      region.Set("endColumn", Json(static_cast<int64_t>(span.end.column)));
+    }
+    physical.Set("region", region);
+  }
+  location.Set("physicalLocation", physical);
+  return location;
+}
+
+}  // namespace
+
+Json DiagnosticsToSarifJson(const std::vector<SarifArtifact>& artifacts) {
+  const auto& codes = AllDiagnosticCodes();
+  std::map<std::string, size_t> rule_index;
+  Json rules = Json::Array();
+  for (size_t i = 0; i < codes.size(); ++i) {
+    rule_index[codes[i].code] = i;
+    rules.Append(RuleDescriptor(codes[i]));
+  }
+
+  Json driver = Json::Object();
+  driver.Set("name", Json(std::string("pfql-lint")));
+  driver.Set("informationUri",
+             Json(std::string("https://example.invalid/pfql")));
+  driver.Set("rules", rules);
+  Json tool = Json::Object();
+  tool.Set("driver", driver);
+
+  Json sarif_artifacts = Json::Array();
+  Json results = Json::Array();
+  for (const auto& artifact : artifacts) {
+    Json entry = Json::Object();
+    Json location = Json::Object();
+    location.Set("uri", Json(artifact.uri));
+    entry.Set("location", location);
+    sarif_artifacts.Append(entry);
+    for (const auto& d : artifact.diagnostics) {
+      Json result = Json::Object();
+      result.Set("ruleId", Json(d.code));
+      auto it = rule_index.find(d.code);
+      if (it != rule_index.end()) {
+        result.Set("ruleIndex", Json(static_cast<int64_t>(it->second)));
+      }
+      result.Set("level", Json(std::string(SarifLevel(d.severity))));
+      Json message = Json::Object();
+      message.Set("text", Json(d.message));
+      result.Set("message", message);
+      Json locations = Json::Array();
+      locations.Append(PhysicalLocation(artifact.uri, d.span));
+      result.Set("locations", locations);
+      results.Append(result);
+    }
+  }
+
+  Json run = Json::Object();
+  run.Set("tool", tool);
+  run.Set("artifacts", sarif_artifacts);
+  run.Set("results", results);
+  Json runs = Json::Array();
+  runs.Append(run);
+
+  Json log = Json::Object();
+  log.Set("$schema",
+          Json(std::string("https://json.schemastore.org/sarif-2.1.0.json")));
+  log.Set("version", Json(std::string("2.1.0")));
+  log.Set("runs", runs);
+  return log;
+}
+
+std::string DiagnosticsToSarif(const std::vector<SarifArtifact>& artifacts) {
+  return DiagnosticsToSarifJson(artifacts).DumpPretty();
+}
+
+}  // namespace analysis
+}  // namespace pfql

@@ -1,0 +1,34 @@
+// SARIF 2.1.0 export of analysis diagnostics (one run, driver "pfql-lint").
+// The rules table is generated from AllDiagnosticCodes() so every code the
+// registry knows — and only those — appears with its default severity; each
+// result references its rule by id/index. Invalid or zero-width spans emit a
+// location without a region rather than a region pointing at offset 0, so
+// SARIF viewers never underline the wrong text.
+#ifndef PFQL_ANALYSIS_SARIF_H_
+#define PFQL_ANALYSIS_SARIF_H_
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "util/json.h"
+
+namespace pfql {
+namespace analysis {
+
+/// One analyzed file and its findings.
+struct SarifArtifact {
+  std::string uri;  ///< Relative or absolute path of the analyzed file.
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// The "sarif-version: 2.1.0" log object for a single pfql-lint run.
+Json DiagnosticsToSarifJson(const std::vector<SarifArtifact>& artifacts);
+
+/// Serialized (pretty-printed) form of DiagnosticsToSarifJson.
+std::string DiagnosticsToSarif(const std::vector<SarifArtifact>& artifacts);
+
+}  // namespace analysis
+}  // namespace pfql
+
+#endif  // PFQL_ANALYSIS_SARIF_H_

@@ -5,6 +5,30 @@
 namespace pfql {
 namespace datalog {
 
+namespace {
+
+/// Best available span for a diagnostic: the specific term/atom span when
+/// the parser stamped one, else the enclosing head/atom span, else the
+/// whole rule. Programmatic ASTs (built without the parser) often carry
+/// default or zero-width spans; normalizing here keeps caret rendering and
+/// SARIF regions from pointing at column/offset 0.
+SourceSpan DiagnosticSpan(SourceSpan specific, const SourceSpan& enclosing,
+                          const SourceSpan& rule_span) {
+  SourceSpan span = specific.valid()    ? specific
+                    : enclosing.valid() ? enclosing
+                                        : rule_span;
+  if (!span.valid()) return span;  // fully unknown: render location-free
+  if (span.begin.column == 0) span.begin.column = 1;
+  if (!span.end.valid()) span.end = span.begin;
+  if (span.end.line == span.begin.line &&
+      span.end.column <= span.begin.column) {
+    span.end.column = span.begin.column + 1;  // at least one caret column
+  }
+  return span;
+}
+
+}  // namespace
+
 StatusOr<Program> Program::Make(std::vector<Rule> rules) {
   analysis::DiagnosticSink sink;
   std::optional<Program> program = Make(std::move(rules), &sink);
@@ -30,7 +54,7 @@ std::optional<Program> Program::Make(std::vector<Rule> rules,
       auto [it, inserted] = p.arities_.emplace(pred, arity);
       if (!inserted && it->second != arity) {
         sink->Error(analysis::kCodeArityMismatch, StatusCode::kTypeError,
-                    span,
+                    DiagnosticSpan(span, rule.span, rule.span),
                     rule_tag(ri) + "predicate '" + pred +
                         "' used with arity " + std::to_string(arity) +
                         ", but other occurrences have arity " +
@@ -40,7 +64,7 @@ std::optional<Program> Program::Make(std::vector<Rule> rules,
     check_arity(rule.head.predicate, rule.head.terms.size(), rule.head.span);
     if (rule.head.is_key.size() != rule.head.terms.size()) {
       sink->Error(analysis::kCodeMalformedAst, StatusCode::kInternal,
-                  rule.span,
+                  DiagnosticSpan(rule.span, rule.span, rule.span),
                   rule_tag(ri) + "head key-flag vector size mismatch in " +
                       rule.ToString());
       continue;
@@ -66,19 +90,22 @@ std::optional<Program> Program::Make(std::vector<Rule> rules,
       if (!t.IsVar() || bound(t.var)) continue;
       if (rule.IsFact()) {
         sink->Error(analysis::kCodeNonGroundFact,
-                    StatusCode::kInvalidArgument, t.span,
+                    StatusCode::kInvalidArgument,
+                    DiagnosticSpan(t.span, rule.head.span, rule.span),
                     rule_tag(ri) + "fact head must be ground, but '" +
                         t.var + "' is a variable: " + rule.ToString());
       } else {
         sink->Error(analysis::kCodeUnsafeHeadVar,
-                    StatusCode::kInvalidArgument, t.span,
+                    StatusCode::kInvalidArgument,
+                    DiagnosticSpan(t.span, rule.head.span, rule.span),
                     rule_tag(ri) + "unsafe rule (head variable '" + t.var +
                         "' not bound in body): " + rule.ToString());
       }
     }
     if (rule.head.weight_var && !bound(*rule.head.weight_var)) {
-      sink->Error(analysis::kCodeUnsafeWeightVar,
-                  StatusCode::kInvalidArgument, rule.head.weight_span,
+      sink->Error(
+          analysis::kCodeUnsafeWeightVar, StatusCode::kInvalidArgument,
+          DiagnosticSpan(rule.head.weight_span, rule.head.span, rule.span),
                   rule_tag(ri) + "unsafe rule (weight variable '" +
                       *rule.head.weight_var +
                       "' not bound in body): " + rule.ToString());
@@ -87,7 +114,8 @@ std::optional<Program> Program::Make(std::vector<Rule> rules,
       for (const Term* t : {&builtin.lhs, &builtin.rhs}) {
         if (t->IsVar() && !bound(t->var)) {
           sink->Error(analysis::kCodeUnsafeBuiltinVar,
-                      StatusCode::kInvalidArgument, t->span,
+                      StatusCode::kInvalidArgument,
+                      DiagnosticSpan(t->span, builtin.span, rule.span),
                       rule_tag(ri) + "unsafe rule (builtin variable '" +
                           t->var + "' not bound in a relational atom): " +
                           rule.ToString());

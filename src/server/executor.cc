@@ -1,8 +1,12 @@
 #include "server/executor.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <string>
 #include <utility>
 
+#include "analysis/cost_model.h"
 #include "datalog/engine.h"
 #include "datalog/query_parse.h"
 #include "datalog/translate.h"
@@ -29,6 +33,104 @@ void CountDegraded(const char* kind, StatusCode cause) {
   metrics::MetricRegistry::Instance()
       .GetCounter("pfql_sampler_degraded_total", labels)
       ->Increment();
+}
+
+// ---- Analyzer-driven planning (src/analysis/cost_model.h) --------------
+//
+// Before an exact evaluator or a compile attempt spends any budget, the
+// executor runs the static cost model. Its *lower* bound is certified
+// reachable, so `lo > budget` proves the run would exhaust the budget —
+// the safe direction for upfront rejection (a sound upper bound alone
+// could only ever say "maybe").
+
+analysis::CostReport PlanReport(const Request& request,
+                                const datalog::Program& program,
+                                const Instance& edb,
+                                analysis::DiagnosticSink* sink) {
+  trace::Span span("plan.analyze");
+  analysis::CostOptions options;
+  options.edb = &edb;
+  options.max_states = request.max_states;
+  options.compile_max_states = request.compile_max_states;
+  options.emit_diagnostics = sink != nullptr;
+  analysis::DiagnosticSink local;
+  return analysis::AnalyzeCost(program, options,
+                               sink != nullptr ? sink : &local);
+}
+
+void CountPlanRejected(const char* kind) {
+  metrics::MetricRegistry::Instance()
+      .GetCounter("pfql_plan_rejected_total",
+                  std::string("kind=\"") + kind + '"')
+      ->Increment();
+}
+
+// Upfront rejection for the exact (state-enumerating) kinds: when the
+// certified lower bound already exceeds max_states, BuildStateSpace is
+// guaranteed to hit ResourceExhausted mid-BFS — fail in O(analysis) now.
+Status CheckExactBudget(const analysis::CostReport& report,
+                        const Request& request, const char* kind) {
+  if (report.states.lo <= request.max_states) return Status::OK();
+  CountPlanRejected(kind);
+  return Status::ResourceExhausted(
+      std::string("PFQL-E070: predicted state-space lower bound ") +
+      std::to_string(report.states.lo) + " exceeds max_states " +
+      std::to_string(request.max_states) +
+      "; raise max_states or use a sampling method (mcmc, trajectory)");
+}
+
+// kAuto compile gate for the sampled kinds: when the chain provably
+// exceeds compile_max_states, skip the doomed GetOrCompile BFS and go
+// straight to the interpreted tier. A *forced* compiled backend is
+// instead rejected upfront (same outcome GetOrCompile would reach, minus
+// the wasted enumeration).
+StatusOr<eval::Backend> PlanBackend(const analysis::CostReport& report,
+                                    const Request& request,
+                                    const char* kind) {
+  PFQL_ASSIGN_OR_RETURN(eval::Backend backend,
+                        eval::BackendFromString(request.backend));
+  if (report.states.lo <= request.compile_max_states) return backend;
+  if (backend == eval::Backend::kCompiled) {
+    CountPlanRejected(kind);
+    return Status::ResourceExhausted(
+        std::string("PFQL-E070: backend 'compiled' was forced but the "
+                    "predicted state-space lower bound ") +
+        std::to_string(report.states.lo) + " exceeds compile_max_states " +
+        std::to_string(request.compile_max_states) +
+        "; raise compile_max_states or use backend 'interpreted'");
+  }
+  if (backend == eval::Backend::kAuto) {
+    metrics::MetricRegistry::Instance()
+        .GetCounter("pfql_plan_skipped_compiles_total",
+                    std::string("kind=\"") + kind + '"')
+        ->Increment();
+    return eval::Backend::kInterpreted;
+  }
+  return backend;
+}
+
+// Predicted-vs-actual accounting after a successful exact evaluation: the
+// soundness contract is lo <= actual <= hi, so any violation is a cost-
+// model bug worth alerting on.
+void RecordPlanAccuracy(const analysis::CostReport& report,
+                        uint64_t actual_states, const char* kind) {
+  auto& registry = metrics::MetricRegistry::Instance();
+  const std::string labels = std::string("kind=\"") + kind + '"';
+  auto clamp = [](uint64_t v) {
+    return static_cast<int64_t>(
+        std::min<uint64_t>(v, std::numeric_limits<int64_t>::max()));
+  };
+  registry.GetGauge("pfql_plan_predicted_states_lo", labels)
+      ->Set(clamp(report.states.lo));
+  registry.GetGauge("pfql_plan_predicted_states_hi", labels)
+      ->Set(clamp(report.states.hi));
+  registry.GetGauge("pfql_plan_actual_states", labels)
+      ->Set(clamp(actual_states));
+  if (actual_states < report.states.lo ||
+      actual_states > report.states.hi) {
+    registry.GetCounter("pfql_plan_bound_violations_total", labels)
+        ->Increment();
+  }
 }
 
 void SetProbability(const BigRational& p, Json* payload) {
@@ -155,6 +257,9 @@ StatusOr<Json> ExecuteForever(const Request& request,
                               const datalog::Program& program,
                               const Instance& edb, const QueryEvent& event,
                               const CancellationToken* cancel) {
+  const analysis::CostReport plan =
+      PlanReport(request, program, edb, nullptr);
+  PFQL_RETURN_NOT_OK(CheckExactBudget(plan, request, "forever"));
   PFQL_ASSIGN_OR_RETURN(datalog::TranslatedQuery tq,
                         datalog::TranslateNonInflationary(program, edb));
   StateSpaceOptions options;
@@ -164,6 +269,7 @@ StatusOr<Json> ExecuteForever(const Request& request,
   PFQL_ASSIGN_OR_RETURN(
       eval::ExactForeverResult r,
       eval::ExactForever({tq.kernel, event}, tq.initial, options));
+  RecordPlanAccuracy(plan, r.num_states, "forever");
   Json payload = Json::Object();
   payload.Set("event", event.ToString());
   SetProbability(r.probability, &payload);
@@ -179,6 +285,8 @@ StatusOr<Json> ExecuteMcmc(const Request& request,
                            const datalog::Program& program,
                            const Instance& edb, const QueryEvent& event,
                            const CancellationToken* cancel) {
+  const analysis::CostReport plan =
+      PlanReport(request, program, edb, nullptr);
   PFQL_ASSIGN_OR_RETURN(datalog::TranslatedQuery tq,
                         datalog::TranslateNonInflationary(program, edb));
   eval::McmcParams params;
@@ -188,15 +296,16 @@ StatusOr<Json> ExecuteMcmc(const Request& request,
   params.cancel = cancel;
   params.max_samples = request.max_samples;
   params.allow_partial = request.allow_partial;
-  PFQL_ASSIGN_OR_RETURN(params.backend,
-                        eval::BackendFromString(request.backend));
+  PFQL_ASSIGN_OR_RETURN(params.backend, PlanBackend(plan, request, "mcmc"));
   params.compile_max_states = request.compile_max_states;
   bool measured = false;
   if (request.burn_in.has_value()) {
     params.burn_in = *request.burn_in;
   } else {
     // "auto": measure the TV mixing time on the explicit chain. The
-    // measurement honours the same budget and deadline as the sampler.
+    // measurement honours the same budget and deadline as the sampler —
+    // and the same upfront rejection, since it enumerates the state space.
+    PFQL_RETURN_NOT_OK(CheckExactBudget(plan, request, "mcmc"));
     StateSpaceOptions options;
     options.max_states = request.max_states;
     options.cancel = cancel;
@@ -237,6 +346,13 @@ StatusOr<Json> ExecutePartition(const Request& request,
                                 const datalog::Program& program,
                                 const Instance& edb, const QueryEvent& event,
                                 const CancellationToken* cancel) {
+  // No E070 gate here: the partitioned evaluator applies max_states per
+  // independence class, so a joint-space lower bound over budget does not
+  // prove failure — factorization is exactly how such chains stay cheap.
+  // The joint bound is still predicted-vs-actual accounted against the
+  // *product* of per-class counts (the joint space they factorize).
+  const analysis::CostReport plan =
+      PlanReport(request, program, edb, nullptr);
   StateSpaceOptions options;
   options.max_states = request.max_states;
   options.threads = request.threads;
@@ -245,7 +361,12 @@ StatusOr<Json> ExecutePartition(const Request& request,
       eval::PartitionedResult r,
       eval::PartitionedExactForever(program, edb, event, options));
   size_t states = 0;
-  for (size_t s : r.states_per_class) states += s;
+  uint64_t joint_states = 1;
+  for (size_t s : r.states_per_class) {
+    states += s;
+    joint_states = analysis::CostMul(joint_states, s);
+  }
+  RecordPlanAccuracy(plan, joint_states, "partition");
   Json payload = Json::Object();
   payload.Set("event", event.ToString());
   SetProbability(r.probability, &payload);
@@ -258,6 +379,8 @@ StatusOr<Json> ExecuteTrajectory(const Request& request,
                                  const datalog::Program& program,
                                  const Instance& edb, const QueryEvent& event,
                                  const CancellationToken* cancel) {
+  const analysis::CostReport plan =
+      PlanReport(request, program, edb, nullptr);
   PFQL_ASSIGN_OR_RETURN(datalog::TranslatedQuery tq,
                         datalog::TranslateNonInflationary(program, edb));
   eval::TrajectoryParams params;
@@ -266,7 +389,7 @@ StatusOr<Json> ExecuteTrajectory(const Request& request,
   params.cancel = cancel;
   params.allow_partial = request.allow_partial;
   PFQL_ASSIGN_OR_RETURN(params.backend,
-                        eval::BackendFromString(request.backend));
+                        PlanBackend(plan, request, "trajectory"));
   params.compile_max_states = request.compile_max_states;
   Rng rng(request.seed);
   PFQL_ASSIGN_OR_RETURN(
@@ -307,6 +430,46 @@ StatusOr<Json> ExecuteTrajectory(const Request& request,
   return payload;
 }
 
+// "plan": run the cost-model pass suite and return the CostReport without
+// executing anything. The payload carries the report, the budgets it was
+// judged against, whether the executor *would* reject upfront, and the
+// W/N diagnostics the analysis raised (JSON-shaped like pfql-lint --json).
+StatusOr<Json> ExecutePlan(const Request& request,
+                           const datalog::Program& program,
+                           const Instance& edb) {
+  analysis::DiagnosticSink sink;
+  const analysis::CostReport report =
+      PlanReport(request, program, edb, &sink);
+  metrics::MetricRegistry::Instance()
+      .GetCounter("pfql_plan_runs_total")
+      ->Increment();
+  Json payload = report.ToJson();
+  Json budgets = Json::Object();
+  budgets.Set("max_states", request.max_states);
+  budgets.Set("compile_max_states", request.compile_max_states);
+  payload.Set("budgets", std::move(budgets));
+  payload.Set("would_reject_exact",
+              report.states.lo > request.max_states);
+  if (!request.event.empty()) {
+    // Validate the event against the program even though the analysis
+    // itself is event-independent, so `plan` catches the same typos the
+    // query kinds would.
+    PFQL_ASSIGN_OR_RETURN(QueryEvent event,
+                          datalog::ParseGroundAtom(request.event));
+    payload.Set("event", event.ToString());
+  }
+  Json diags = Json::Array();
+  for (const auto& d : sink.diagnostics()) {
+    Json entry = Json::Object();
+    entry.Set("code", d.code);
+    entry.Set("severity", analysis::SeverityToString(d.severity));
+    entry.Set("message", d.message);
+    diags.Append(std::move(entry));
+  }
+  payload.Set("diagnostics", std::move(diags));
+  return payload;
+}
+
 }  // namespace
 
 StatusOr<Json> ExecuteQuery(const Request& request,
@@ -320,6 +483,9 @@ StatusOr<Json> ExecuteQuery(const Request& request,
   }
   if (request.kind == RequestKind::kRun) {
     return ExecuteRun(request, program, edb);
+  }
+  if (request.kind == RequestKind::kPlan) {
+    return ExecutePlan(request, program, edb);
   }
   PFQL_ASSIGN_OR_RETURN(QueryEvent event,
                         datalog::ParseGroundAtom(request.event));

@@ -33,6 +33,8 @@ const char* RequestKindToString(RequestKind kind) {
       return "partition";
     case RequestKind::kTrajectory:
       return "trajectory";
+    case RequestKind::kPlan:
+      return "plan";
   }
   return "unknown";
 }
@@ -47,7 +49,8 @@ StatusOr<RequestKind> RequestKindFromString(std::string_view name) {
       RequestKind::kRun,     RequestKind::kExact,
       RequestKind::kApprox,  RequestKind::kForever,
       RequestKind::kMcmc,    RequestKind::kPartition,
-      RequestKind::kTrajectory};
+      RequestKind::kTrajectory,
+      RequestKind::kPlan};
   for (RequestKind kind : kAll) {
     if (name == RequestKindToString(kind)) return kind;
   }
@@ -64,6 +67,7 @@ bool IsQueryKind(RequestKind kind) {
     case RequestKind::kMcmc:
     case RequestKind::kPartition:
     case RequestKind::kTrajectory:
+    case RequestKind::kPlan:
       return true;
     default:
       return false;
@@ -82,7 +86,9 @@ bool IsIdempotent(RequestKind kind) {
 namespace {
 
 bool NeedsEvent(RequestKind kind) {
-  return IsQueryKind(kind) && kind != RequestKind::kRun;
+  // plan analyzes the program as a whole; an event is optional context.
+  return IsQueryKind(kind) && kind != RequestKind::kRun &&
+         kind != RequestKind::kPlan;
 }
 
 }  // namespace
@@ -126,6 +132,13 @@ std::string Request::CacheParams() const {
       out += ";steps=" + std::to_string(steps) +
              ";runs=" + std::to_string(runs) +
              ";seed=" + std::to_string(seed) +
+             ";backend=" + backend +
+             ";compile_max_states=" + std::to_string(compile_max_states);
+      break;
+    case RequestKind::kPlan:
+      // Deterministic analysis: the bounds depend on the budgets being
+      // judged against, not on seeds or sampling parameters.
+      out += ";max_states=" + std::to_string(max_states) +
              ";backend=" + backend +
              ";compile_max_states=" + std::to_string(compile_max_states);
       break;
@@ -224,9 +237,11 @@ StatusOr<Request> ParseRequest(const Json& json) {
         "field 'backend' must be \"auto\", \"interpreted\", or \"compiled\"");
   }
   if (request.backend != "auto" && request.kind != RequestKind::kMcmc &&
-      request.kind != RequestKind::kTrajectory) {
+      request.kind != RequestKind::kTrajectory &&
+      request.kind != RequestKind::kPlan) {
     return Status::InvalidArgument(
-        "'backend' only applies to methods 'mcmc' and 'trajectory'");
+        "'backend' only applies to methods 'mcmc', 'trajectory', and "
+        "'plan'");
   }
   PFQL_RETURN_NOT_OK(positive_size("compile_max_states",
                                    request.compile_max_states,

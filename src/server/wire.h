@@ -37,11 +37,12 @@ enum class RequestKind {
   kMcmc,       ///< MCMC noninflationary estimate (Thm 5.6)
   kPartition,  ///< partitioned exact forever evaluation (Sec 5.1)
   kTrajectory, ///< Def 3.2 time-average estimate (assumption-free sampler)
+  kPlan,       ///< cost & chain-structure analysis only; executes nothing
 };
 
 const char* RequestKindToString(RequestKind kind);
 StatusOr<RequestKind> RequestKindFromString(std::string_view name);
-/// True for the kinds executed on the worker pool (kRun..kTrajectory).
+/// True for the kinds executed on the worker pool (kRun..kPlan).
 bool IsQueryKind(RequestKind kind);
 /// True when retrying the request cannot change server state — the gate the
 /// client-side retry loop checks before resending after a transport error.

@@ -1,0 +1,279 @@
+#include "analysis/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datalog/program.h"
+#include "relational/instance.h"
+#include "relational/text_io.h"
+
+namespace pfql {
+namespace analysis {
+namespace {
+
+datalog::Program Parse(const std::string& source) {
+  auto program = datalog::ParseProgram(source);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return *program;
+}
+
+Instance ParseEdb(const std::string& text) {
+  auto instance = ParseInstanceText(text);
+  EXPECT_TRUE(instance.ok()) << instance.status().ToString();
+  return *instance;
+}
+
+TEST(CostArithmeticTest, Saturates) {
+  EXPECT_EQ(CostAdd(1, 2), 3u);
+  EXPECT_EQ(CostAdd(kCostUnbounded, 1), kCostUnbounded);
+  EXPECT_EQ(CostAdd(kCostUnbounded - 1, 2), kCostUnbounded);
+  EXPECT_EQ(CostMul(3, 4), 12u);
+  EXPECT_EQ(CostMul(0, kCostUnbounded), 0u);
+  EXPECT_EQ(CostMul(kCostUnbounded, 2), kCostUnbounded);
+  EXPECT_EQ(CostMul(uint64_t{1} << 40, uint64_t{1} << 40), kCostUnbounded);
+  EXPECT_EQ(CostPow(2, 10), 1024u);
+  EXPECT_EQ(CostPow(2, 64), kCostUnbounded);
+  EXPECT_EQ(CostPow(kCostUnbounded, 0), 1u);
+}
+
+// The biased coin with opts supplied as EDB data has exactly 3 reachable
+// states: the empty initial one and the two flip outcomes. lo == hi == 3,
+// so every verdict is decisive.
+TEST(CostModelTest, CoinWithEdbIsExact) {
+  datalog::Program program =
+      Parse("flip(<K>, V) @W :- opts(K, V, W).\n");
+  Instance edb = ParseEdb(
+      "relation opts(k, v, w) {\n"
+      "  (coin, heads, 3)\n"
+      "  (coin, tails, 1)\n"
+      "}\n");
+  CostOptions options;
+  options.edb = &edb;
+  DiagnosticSink sink;
+  CostReport report = AnalyzeCost(program, options, &sink);
+
+  EXPECT_TRUE(report.has_data);
+  EXPECT_EQ(report.states.lo, 3u);
+  EXPECT_EQ(report.states.hi, 3u);
+  EXPECT_EQ(report.backend_verdict, "compiled");
+  EXPECT_EQ(report.recommended_sampler, "exact");
+  EXPECT_EQ(report.structure.probabilistic_rules, 1u);
+  EXPECT_TRUE(report.structure.memoryless);
+  EXPECT_TRUE(report.structure.state_independent_choices);
+  EXPECT_FALSE(report.structure.reducibility_risk);
+}
+
+// Same program with the facts inline: fact-only predicates are statically
+// known, so the choice still qualifies; the chain gains the intermediate
+// {opts full, flip empty} state, so the interval widens by one value
+// dimension but stays decisively small.
+TEST(CostModelTest, CoinWithInlineFactsQualifies) {
+  datalog::Program program = Parse(
+      "opts(coin, heads, 3).\n"
+      "opts(coin, tails, 1).\n"
+      "flip(<K>, V) @W :- opts(K, V, W).\n");
+  DiagnosticSink sink;
+  CostReport report = AnalyzeCost(program, {}, &sink);
+
+  EXPECT_FALSE(report.has_data);
+  EXPECT_EQ(report.states.lo, 3u);   // initial + two flip outcomes
+  EXPECT_EQ(report.states.hi, 6u);   // x the two opts values
+  EXPECT_EQ(report.backend_verdict, "compiled");
+  EXPECT_EQ(report.recommended_sampler, "exact");
+}
+
+TEST(CostModelTest, ZeroWeightCandidatesAreNotChoices) {
+  datalog::Program program = Parse("flip(<K>, V) @W :- opts(K, V, W).\n");
+  Instance edb = ParseEdb(
+      "relation opts(k, v, w) {\n"
+      "  (coin, heads, 1)\n"
+      "  (coin, tails, 0)\n"
+      "}\n");
+  CostOptions options;
+  options.edb = &edb;
+  DiagnosticSink sink;
+  CostReport report = AnalyzeCost(program, options, &sink);
+  // Only heads is pickable: one outcome plus the initial state.
+  EXPECT_EQ(report.states.lo, 2u);
+  EXPECT_GE(report.states.hi, 2u);
+}
+
+TEST(CostModelTest, NegativeWeightDisqualifiesLowerBound) {
+  datalog::Program program = Parse("flip(<K>, V) @W :- opts(K, V, W).\n");
+  Instance edb = ParseEdb(
+      "relation opts(k, v, w) {\n"
+      "  (coin, heads, 1)\n"
+      "  (coin, tails, -1)\n"
+      "}\n");
+  CostOptions options;
+  options.edb = &edb;
+  DiagnosticSink sink;
+  CostReport report = AnalyzeCost(program, options, &sink);
+  // Evaluation would error on the negative weight; the certified lower
+  // bound must not promise reachable states, so it stays at 1 (initial).
+  EXPECT_EQ(report.states.lo, 1u);
+}
+
+TEST(CostModelTest, IndependentChoicesMultiply) {
+  datalog::Program program = Parse("pick(<K>, V) :- opt(K, V).\n");
+  Instance edb = ParseEdb(
+      "relation opt(k, v) {\n"
+      "  (a, 1)\n"
+      "  (a, 2)\n"
+      "  (b, 1)\n"
+      "  (b, 2)\n"
+      "  (b, 3)\n"
+      "}\n");
+  CostOptions options;
+  options.edb = &edb;
+  DiagnosticSink sink;
+  CostReport report = AnalyzeCost(program, options, &sink);
+  // 2 candidates for key a x 3 for key b, plus the empty initial state.
+  EXPECT_EQ(report.states.lo, 7u);
+  EXPECT_EQ(report.states.hi, 7u);
+}
+
+TEST(CostModelTest, NoDataMeansUnboundedAndWarning) {
+  datalog::Program program = Parse(
+      "cur(0).\n"
+      "c2(<X>, Y) @P :- cur(X), e(X, Y, P).\n"
+      "cur(Y) :- c2(X, Y).\n");
+  DiagnosticSink sink;
+  CostReport report = AnalyzeCost(program, {}, &sink);
+  // e is EDB with no statistics: the active domain is unknown.
+  EXPECT_EQ(report.adom_size, kCostUnbounded);
+  EXPECT_FALSE(report.states.bounded());
+  bool warned = false;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code == kCodeUnboundedStateSpace) warned = true;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(CostModelTest, ReachProgramFlagsReducibilityRisk) {
+  datalog::Program program = Parse(
+      "cur(0).\n"
+      "c2(<X>, Y) @P :- cur(X), e(X, Y, P).\n"
+      "cur(Y) :- c2(X, Y).\n");
+  Instance edb = ParseEdb(
+      "relation e(i, j, p) {\n"
+      "  (0, 1, 1)\n"
+      "  (0, 2, 3)\n"
+      "  (1, 3, 1)\n"
+      "  (2, 3, 1)\n"
+      "  (3, 3, 1)\n"
+      "}\n");
+  CostOptions options;
+  options.edb = &edb;
+  DiagnosticSink sink;
+  CostReport report = AnalyzeCost(program, options, &sink);
+
+  EXPECT_TRUE(report.structure.reducibility_risk);
+  EXPECT_EQ(report.recommended_sampler, "trajectory");
+  EXPECT_TRUE(report.states.bounded());
+  EXPECT_GE(report.states.lo, 1u);
+  bool warned = false;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code == kCodeReducibilityRisk) warned = true;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(CostModelTest, DeterministicProgramIsStationary) {
+  datalog::Program program = Parse(
+      "start(1).\n"
+      "reach(X) :- start(X).\n"
+      "reach(Y) :- reach(X), e(X, Y).\n");
+  Instance edb = ParseEdb(
+      "relation e(i, j) {\n"
+      "  (1, 2)\n"
+      "  (2, 3)\n"
+      "}\n");
+  CostOptions options;
+  options.edb = &edb;
+  DiagnosticSink sink;
+  CostReport report = AnalyzeCost(program, options, &sink);
+
+  EXPECT_EQ(report.structure.probabilistic_rules, 0u);
+  EXPECT_TRUE(report.structure.stationary_predicates.count("reach") > 0);
+  EXPECT_TRUE(report.structure.stationary_predicates.count("start") > 0);
+  EXPECT_FALSE(report.structure.reducibility_risk);
+  EXPECT_FALSE(report.structure.periodicity_risk);
+  // Monotone trajectories: V_hi per predicate is card+1; everything tiny.
+  EXPECT_TRUE(report.states.bounded());
+  EXPECT_EQ(report.backend_verdict, "compiled");
+  EXPECT_EQ(report.recommended_sampler, "exact");
+}
+
+TEST(CostModelTest, VerdictRespectsBudgets) {
+  datalog::Program program = Parse("pick(<K>, V) :- opt(K, V).\n");
+  std::string data = "relation opt(k, v) {\n";
+  for (int k = 0; k < 4; ++k) {
+    for (int v = 0; v < 8; ++v) {
+      data += "  (k" + std::to_string(k) + ", " + std::to_string(v) + ")\n";
+    }
+  }
+  data += "}\n";
+  Instance edb = ParseEdb(data);
+  CostOptions options;
+  options.edb = &edb;
+  // 8^4 = 4096 combos + 1 initial = 4097 states exactly.
+  options.compile_max_states = 4096;
+  DiagnosticSink sink;
+  CostReport report = AnalyzeCost(program, options, &sink);
+  EXPECT_EQ(report.states.lo, 4097u);
+  EXPECT_EQ(report.states.hi, 4097u);
+  EXPECT_EQ(report.backend_verdict, "interpreted");
+
+  CostOptions roomy = options;
+  roomy.compile_max_states = 5000;
+  DiagnosticSink sink2;
+  CostReport report2 = AnalyzeCost(program, roomy, &sink2);
+  EXPECT_EQ(report2.backend_verdict, "compiled");
+}
+
+TEST(CostModelTest, ReportJsonShape) {
+  datalog::Program program = Parse(
+      "opts(coin, heads, 3).\n"
+      "opts(coin, tails, 1).\n"
+      "flip(<K>, V) @W :- opts(K, V, W).\n");
+  DiagnosticSink sink;
+  CostReport report = AnalyzeCost(program, {}, &sink);
+  Json json = report.ToJson();
+  ASSERT_NE(json.Find("states"), nullptr);
+  ASSERT_NE(json.Find("structure"), nullptr);
+  EXPECT_NE(json.Find("states")->Find("lo"), nullptr);
+  EXPECT_NE(json.Find("structure")->Find("probabilistic_rules"), nullptr);
+  ASSERT_NE(json.Find("backend_verdict"), nullptr);
+  EXPECT_EQ(json.Find("backend_verdict")->AsString(), "compiled");
+}
+
+TEST(CostModelTest, EmitsStructureNotes) {
+  datalog::Program program = Parse("flip(<K>, V) @W :- opts(K, V, W).\n");
+  Instance edb = ParseEdb(
+      "relation opts(k, v, w) {\n  (coin, heads, 1)\n}\n");
+  CostOptions options;
+  options.edb = &edb;
+  DiagnosticSink sink;
+  AnalyzeCost(program, options, &sink);
+  bool structure = false, verdict = false, memoryless = false;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code == kCodeChainStructure) structure = true;
+    if (d.code == kCodeBackendEligibility) verdict = true;
+    if (d.code == kCodeMemorylessChain) memoryless = true;
+  }
+  EXPECT_TRUE(structure);
+  EXPECT_TRUE(verdict);
+  EXPECT_TRUE(memoryless);
+
+  DiagnosticSink quiet;
+  CostOptions silent = options;
+  silent.emit_diagnostics = false;
+  AnalyzeCost(program, silent, &quiet);
+  EXPECT_TRUE(quiet.empty());
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pfql

@@ -1,0 +1,130 @@
+#include "analysis/sarif.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+
+namespace pfql {
+namespace analysis {
+namespace {
+
+Diagnostic MakeDiagnostic(const char* code, Severity severity,
+                          SourceSpan span, const std::string& message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.span = span;
+  d.message = message;
+  return d;
+}
+
+SourceSpan SpanAt(uint32_t line, uint32_t column, uint32_t end_line,
+                  uint32_t end_column) {
+  SourceSpan span;
+  span.begin = SourcePos{line, column};
+  span.end = SourcePos{end_line, end_column};
+  return span;
+}
+
+TEST(SarifTest, RulesTableCoversEveryRegisteredCode) {
+  Json log = DiagnosticsToSarifJson({});
+  const Json* runs = log.Find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->items().size(), 1u);
+  const Json* driver = runs->items()[0].Find("tool")->Find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->Find("name")->AsString(), "pfql-lint");
+  const Json* rules = driver->Find("rules");
+  ASSERT_NE(rules, nullptr);
+  const auto catalog = AllDiagnosticCodes();
+  ASSERT_EQ(rules->items().size(), catalog.size());
+  // Every registered diagnostic code appears, in catalog order, so
+  // ruleIndex in results can index straight into this array.
+  for (size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_EQ(rules->items()[i].Find("id")->AsString(), catalog[i].code);
+  }
+}
+
+TEST(SarifTest, LogShapeAndResultFields) {
+  SarifArtifact artifact;
+  artifact.uri = "examples/bad.dl";
+  artifact.diagnostics.push_back(MakeDiagnostic(
+      kCodeArityMismatch, Severity::kError, SpanAt(3, 5, 3, 9),
+      "predicate 'e' used with arity 2"));
+  Json log = DiagnosticsToSarifJson({artifact});
+
+  EXPECT_EQ(log.Find("version")->AsString(), "2.1.0");
+  ASSERT_NE(log.Find("$schema"), nullptr);
+  const Json& run = log.Find("runs")->items()[0];
+  ASSERT_EQ(run.Find("artifacts")->items().size(), 1u);
+  const Json* results = run.Find("results");
+  ASSERT_EQ(results->items().size(), 1u);
+  const Json& result = results->items()[0];
+  EXPECT_EQ(result.Find("ruleId")->AsString(), kCodeArityMismatch);
+  EXPECT_EQ(result.Find("level")->AsString(), "error");
+  ASSERT_NE(result.Find("ruleIndex"), nullptr);
+  const Json& location = result.Find("locations")->items()[0];
+  const Json* physical = location.Find("physicalLocation");
+  ASSERT_NE(physical, nullptr);
+  EXPECT_EQ(physical->Find("artifactLocation")->Find("uri")->AsString(),
+            "examples/bad.dl");
+  const Json* region = physical->Find("region");
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->Find("startLine")->AsInt(), 3);
+  EXPECT_EQ(region->Find("startColumn")->AsInt(), 5);
+  EXPECT_EQ(region->Find("endColumn")->AsInt(), 9);
+}
+
+TEST(SarifTest, SeverityMapsToSarifLevels) {
+  SarifArtifact artifact;
+  artifact.uri = "p.dl";
+  artifact.diagnostics.push_back(MakeDiagnostic(
+      kCodeUnboundedStateSpace, Severity::kWarning, SpanAt(1, 1, 1, 2), "w"));
+  artifact.diagnostics.push_back(MakeDiagnostic(
+      kCodeChainStructure, Severity::kNote, SpanAt(1, 1, 1, 2), "n"));
+  Json log = DiagnosticsToSarifJson({artifact});
+  const Json* results = log.Find("runs")->items()[0].Find("results");
+  ASSERT_EQ(results->items().size(), 2u);
+  EXPECT_EQ(results->items()[0].Find("level")->AsString(), "warning");
+  EXPECT_EQ(results->items()[1].Find("level")->AsString(), "note");
+}
+
+// Diagnostics with no source position must not fabricate a region
+// pointing at line 0 — SARIF consumers reject regions outside the file.
+TEST(SarifTest, InvalidSpanOmitsRegion) {
+  SarifArtifact artifact;
+  artifact.uri = "p.dl";
+  artifact.diagnostics.push_back(MakeDiagnostic(
+      kCodeChainStructure, Severity::kNote, SourceSpan{}, "no position"));
+  Json log = DiagnosticsToSarifJson({artifact});
+  const Json& result = log.Find("runs")->items()[0].Find("results")->items()[0];
+  const Json* physical =
+      result.Find("locations")->items()[0].Find("physicalLocation");
+  ASSERT_NE(physical, nullptr);
+  EXPECT_EQ(physical->Find("region"), nullptr);
+  EXPECT_EQ(physical->Find("artifactLocation")->Find("uri")->AsString(),
+            "p.dl");
+}
+
+TEST(SarifTest, ZeroColumnClampsToOne) {
+  SarifArtifact artifact;
+  artifact.uri = "p.dl";
+  artifact.diagnostics.push_back(MakeDiagnostic(
+      kCodeUnsafeHeadVar, Severity::kError, SpanAt(2, 0, 0, 0), "m"));
+  Json log = DiagnosticsToSarifJson({artifact});
+  const Json& result = log.Find("runs")->items()[0].Find("results")->items()[0];
+  const Json* region = result.Find("locations")
+                           ->items()[0]
+                           .Find("physicalLocation")
+                           ->Find("region");
+  ASSERT_NE(region, nullptr);
+  EXPECT_EQ(region->Find("startLine")->AsInt(), 2);
+  EXPECT_EQ(region->Find("startColumn")->AsInt(), 1);
+}
+
+}  // namespace
+}  // namespace analysis
+}  // namespace pfql

@@ -1,0 +1,102 @@
+// Diagnostics from Program::Make must always carry a usable span: the
+// specific term's when the parser stamped one, the enclosing head's or
+// rule's otherwise, and never a zero column that would render a caret (or
+// a SARIF region) at offset 0.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.h"
+#include "datalog/ast.h"
+#include "datalog/program.h"
+
+namespace pfql {
+namespace datalog {
+namespace {
+
+/// `p(X).` with no spans anywhere, as a programmatic AST would build it.
+Rule SpanlessUnsafeFact() {
+  Rule rule;
+  rule.head.predicate = "p";
+  rule.head.terms.push_back(Term::Var("X"));
+  rule.head.is_key.push_back(true);
+  return rule;
+}
+
+const analysis::Diagnostic& SoleError(const analysis::DiagnosticSink& sink) {
+  EXPECT_GE(sink.diagnostics().size(), 1u);
+  return sink.diagnostics().front();
+}
+
+TEST(ProgramSpanTest, FullyUnknownSpanStaysLocationFree) {
+  analysis::DiagnosticSink sink;
+  auto program = Program::Make({SpanlessUnsafeFact()}, &sink);
+  EXPECT_FALSE(program.has_value());
+  const analysis::Diagnostic& d = SoleError(sink);
+  EXPECT_EQ(d.code, analysis::kCodeNonGroundFact);
+  // No source text exists: fabricating line 1 would point at the wrong
+  // code in any file the AST did not come from.
+  EXPECT_FALSE(d.span.valid());
+}
+
+TEST(ProgramSpanTest, RuleSpanBacksUpMissingTermSpan) {
+  Rule rule = SpanlessUnsafeFact();
+  rule.span.begin = SourcePos{4, 1};
+  rule.span.end = SourcePos{4, 6};
+  analysis::DiagnosticSink sink;
+  auto program = Program::Make({rule}, &sink);
+  EXPECT_FALSE(program.has_value());
+  const analysis::Diagnostic& d = SoleError(sink);
+  ASSERT_TRUE(d.span.valid());
+  EXPECT_EQ(d.span.begin.line, 4u);
+  EXPECT_GE(d.span.begin.column, 1u);
+}
+
+TEST(ProgramSpanTest, HeadSpanPreferredOverRuleSpan) {
+  Rule rule = SpanlessUnsafeFact();
+  rule.span.begin = SourcePos{4, 1};
+  rule.head.span.begin = SourcePos{4, 3};
+  analysis::DiagnosticSink sink;
+  Program::Make({rule}, &sink);
+  const analysis::Diagnostic& d = SoleError(sink);
+  ASSERT_TRUE(d.span.valid());
+  EXPECT_EQ(d.span.begin.column, 3u);
+}
+
+TEST(ProgramSpanTest, ZeroColumnNormalizedToOne) {
+  Rule rule = SpanlessUnsafeFact();
+  rule.span.begin = SourcePos{7, 0};  // line known, column missing
+  analysis::DiagnosticSink sink;
+  Program::Make({rule}, &sink);
+  const analysis::Diagnostic& d = SoleError(sink);
+  ASSERT_TRUE(d.span.valid());
+  EXPECT_EQ(d.span.begin.line, 7u);
+  EXPECT_EQ(d.span.begin.column, 1u);
+  // The normalized span covers at least one caret column.
+  EXPECT_TRUE(d.span.end.valid());
+  EXPECT_GT(d.span.end.column, d.span.begin.column);
+}
+
+TEST(ProgramSpanTest, ParserSpansAreLeftAlone) {
+  auto program = ParseProgram("p(X).\n");
+  ASSERT_FALSE(program.ok());
+  // The parser stamps the variable's own span; the caret lands on X.
+  analysis::DiagnosticSink sink;
+  std::vector<Rule> rules = ParseRules("p(X).\n", &sink);
+  ASSERT_EQ(rules.size(), 1u);
+  Program::Make(std::move(rules), &sink);
+  bool found = false;
+  for (const auto& d : sink.diagnostics()) {
+    if (d.code != analysis::kCodeNonGroundFact) continue;
+    found = true;
+    EXPECT_EQ(d.span.begin.line, 1u);
+    EXPECT_EQ(d.span.begin.column, 3u);
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace datalog
+}  // namespace pfql

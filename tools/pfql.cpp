@@ -12,6 +12,9 @@
 //   pfql partition  --program prog.dl --data db.txt --event 'cur(3)'
 //   pfql trajectory --program prog.dl --data db.txt --event 'cur(3)'
 //                   [--steps N] [--runs N] [--seed N]
+//   pfql plan       --program prog.dl [--data db.txt] [--event 'cur(3)']
+//                   [--max-states N] [--compile-max-states N]
+//                   (cost & chain-structure analysis; executes nothing)
 //   pfql serve      [pfqld flags]     (run the query daemon in-process)
 //   pfql client     --port N [--request '<json>']   (NDJSON client; with
 //                   no --request, reads request lines from stdin)
@@ -51,8 +54,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: pfql "
-      "<parse|run|exact|approx|forever|mcmc|partition|trajectory|serve|"
-      "client>\n"
+      "<parse|run|exact|approx|forever|mcmc|partition|trajectory|plan|"
+      "serve|client>\n"
       "            --program FILE [--data FILE] [--event 'rel(v, ...)']\n"
       "            [--epsilon E] [--delta D] [--seed N] [--threads N]\n"
       "            [--max-states N] [--max-nodes N] [--burn-in N|auto]\n"
@@ -181,7 +184,60 @@ void PrintCompiledNote(const Json& payload) {
               static_cast<long long>(GetInt(payload, "compiled_edges")));
 }
 
+// plan: the CostReport of docs/SERVER.md §plan, rendered as a few summary
+// lines (intervals print as [lo, hi] with "inf" for unbounded).
+void PrintPlanResult(const Json& payload) {
+  auto interval = [&payload](const char* key) -> std::string {
+    const Json* v = payload.Find(key);
+    if (v == nullptr) return "[?, ?]";
+    const Json* lo = v->Find("lo");
+    const Json* hi = v->Find("hi");
+    std::string out = "[";
+    out += lo != nullptr && lo->is_number() ? std::to_string(lo->AsInt())
+                                            : std::string("?");
+    out += ", ";
+    out += hi != nullptr && hi->is_number() ? std::to_string(hi->AsInt())
+                                            : std::string("inf");
+    return out + "]";
+  };
+  std::printf("%% plan: states %s, edges %s\n", interval("states").c_str(),
+              interval("edges").c_str());
+  const Json* structure = payload.Find("structure");
+  if (structure != nullptr) {
+    std::printf(
+        "%% chain: %lld deterministic / %lld probabilistic rules%s%s%s%s\n",
+        static_cast<long long>(GetInt(*structure, "deterministic_rules")),
+        static_cast<long long>(GetInt(*structure, "probabilistic_rules")),
+        GetBool(*structure, "memoryless") ? ", memoryless" : "",
+        GetBool(*structure, "state_independent_choices")
+            ? ", state-independent choices"
+            : "",
+        GetBool(*structure, "reducibility_risk") ? ", reducibility risk"
+                                                 : "",
+        GetBool(*structure, "periodicity_risk") ? ", periodicity risk" : "");
+  }
+  std::printf("%% backend verdict: %s, recommended sampler: %s\n",
+              GetString(payload, "backend_verdict").c_str(),
+              GetString(payload, "recommended_sampler").c_str());
+  if (GetBool(payload, "would_reject_exact")) {
+    std::printf(
+        "%% NOTE: exact evaluation would be rejected upfront (PFQL-E070)\n");
+  }
+  const Json* diags = payload.Find("diagnostics");
+  if (diags != nullptr && diags->is_array()) {
+    for (const Json& d : diags->items()) {
+      std::printf("%% %s[%s]: %s\n", GetString(d, "severity").c_str(),
+                  GetString(d, "code").c_str(),
+                  GetString(d, "message").c_str());
+    }
+  }
+}
+
 void PrintHumanResult(server::RequestKind kind, const Json& payload) {
+  if (kind == server::RequestKind::kPlan) {
+    PrintPlanResult(payload);
+    return;
+  }
   const std::string event = GetString(payload, "event");
   if (kind == server::RequestKind::kExact &&
       !GetString(payload, "fallback_from").empty()) {
@@ -422,17 +478,19 @@ int main(int argc, char** argv) {
   server::Request request;
   request.kind = *kind;
   request.program_text = *program_text;
+  // run samples without an event; plan analyzes statically, so both its
+  // data (catalog statistics) and event (validated echo) are optional.
   if (args.Has("data")) {
     auto data_text = ReadFile(args.Get("data", ""));
     if (!data_text.ok()) return Fail(data_text.status(), args, args.mode);
     request.data_text = *data_text;
-  } else if (args.mode != "run") {
+  } else if (args.mode != "run" && args.mode != "plan") {
     return Usage();
   }
-  if (args.mode != "run") {
+  if (args.mode != "run" && args.mode != "plan") {
     if (!args.Has("event")) return Usage();
-    request.event = args.Get("event", "");
   }
+  request.event = args.Get("event", "");
   try {
     request.epsilon = std::stod(args.Get("epsilon", "0.05"));
     request.delta = std::stod(args.Get("delta", "0.05"));

@@ -4,9 +4,16 @@
 //
 //   --werror          treat warnings as errors (exit 1)
 //   --json            machine-readable output (one JSON array, all files)
+//   --sarif           SARIF 2.1.0 output (one log object, all files)
 //   --no-notes        suppress N-severity fragment/termination hints
 //   --goal PRED       query event relation (bare name or ground atom such
 //                     as 'cur(2)'); enables the dead-predicate pass
+//   --plan            also run the cost & chain-structure analysis and
+//                     report its W/N diagnostics (and, without --json or
+//                     --sarif, a plan summary per file)
+//   --data FILE       EDB statistics for --plan (text instance format)
+//   --max-states N    exact-evaluation budget --plan judges against
+//   --compile-max-states N   compiled-tier budget --plan judges against
 //   --codes           list every diagnostic code and exit
 //
 // Exit status: 0 clean (warnings allowed), 1 diagnostics at error severity
@@ -19,7 +26,10 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/cost_model.h"
 #include "analysis/diagnostic.h"
+#include "analysis/sarif.h"
+#include "relational/text_io.h"
 
 using namespace pfql;
 
@@ -27,8 +37,10 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: pfql-lint [--werror] [--json] [--no-notes]\n"
-               "                 [--goal PRED] [--codes] FILE...\n");
+               "usage: pfql-lint [--werror] [--json] [--sarif] [--no-notes]\n"
+               "                 [--goal PRED] [--plan] [--data FILE]\n"
+               "                 [--max-states N] [--compile-max-states N]\n"
+               "                 [--codes] FILE...\n");
   return 2;
 }
 
@@ -59,11 +71,27 @@ int ListCodes() {
   return 0;
 }
 
+void PrintPlanSummary(const std::string& file,
+                      const analysis::CostReport& report) {
+  auto interval = [](const analysis::CostInterval& iv) {
+    std::string out = "[" + std::to_string(iv.lo) + ", ";
+    out += iv.bounded() ? std::to_string(iv.hi) : std::string("inf");
+    return out + "]";
+  };
+  std::printf("%s: plan: states %s, edges %s, backend %s, sampler %s\n",
+              file.c_str(), interval(report.states).c_str(),
+              interval(report.edges).c_str(),
+              report.backend_verdict.c_str(),
+              report.recommended_sampler.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool werror = false, json = false, notes = true;
-  std::string goal;
+  bool werror = false, json = false, sarif = false, notes = true;
+  bool plan = false;
+  std::string goal, data_file;
+  analysis::CostOptions cost_options;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -71,13 +99,27 @@ int main(int argc, char** argv) {
       werror = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--sarif") {
+      sarif = true;
     } else if (arg == "--no-notes") {
       notes = false;
+    } else if (arg == "--plan") {
+      plan = true;
     } else if (arg == "--codes") {
       return ListCodes();
     } else if (arg == "--goal" || arg == "--event") {
       if (i + 1 >= argc) return Usage();
       goal = argv[++i];
+    } else if (arg == "--data") {
+      if (i + 1 >= argc) return Usage();
+      data_file = argv[++i];
+    } else if (arg == "--max-states" || arg == "--compile-max-states") {
+      if (i + 1 >= argc) return Usage();
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || v == 0) return Usage();
+      (arg == "--max-states" ? cost_options.max_states
+                             : cost_options.compile_max_states) = v;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "pfql-lint: unknown option '%s'\n", arg.c_str());
       return Usage();
@@ -86,6 +128,28 @@ int main(int argc, char** argv) {
     }
   }
   if (files.empty()) return Usage();
+  if (json && sarif) {
+    std::fprintf(stderr, "pfql-lint: --json and --sarif are exclusive\n");
+    return Usage();
+  }
+
+  Instance edb;
+  if (!data_file.empty()) {
+    std::string data_text;
+    if (!ReadFile(data_file, &data_text)) {
+      std::fprintf(stderr, "pfql-lint: cannot open '%s'\n",
+                   data_file.c_str());
+      return 2;
+    }
+    auto parsed = ParseInstanceText(data_text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "pfql-lint: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    edb = *std::move(parsed);
+    cost_options.edb = &edb;
+  }
 
   analysis::AnalyzerOptions options;
   options.emit_notes = notes;
@@ -93,6 +157,7 @@ int main(int argc, char** argv) {
 
   size_t total_errors = 0, total_warnings = 0;
   std::vector<std::string> json_objects;
+  std::vector<analysis::SarifArtifact> artifacts;
   for (const auto& file : files) {
     std::string source;
     if (!ReadFile(file, &source)) {
@@ -101,9 +166,25 @@ int main(int argc, char** argv) {
     }
     analysis::LintResult result =
         analysis::LintProgramSource(source, options);
+    if (plan && result.program.has_value()) {
+      // Cost-model diagnostics land in the same sink, so every output
+      // mode (caret, --json, --sarif) carries them alongside the lint
+      // findings.
+      const analysis::CostReport report = analysis::AnalyzeCost(
+          *result.program, cost_options, &result.sink);
+      if (!json && !sarif) PrintPlanSummary(file, report);
+    }
     total_errors += result.sink.Count(analysis::Severity::kError);
     total_warnings += result.sink.Count(analysis::Severity::kWarning);
-    if (json) {
+    if (sarif) {
+      analysis::SarifArtifact artifact;
+      artifact.uri = file;
+      for (const auto& d : result.sink.diagnostics()) {
+        if (d.severity == analysis::Severity::kNote && !notes) continue;
+        artifact.diagnostics.push_back(d);
+      }
+      artifacts.push_back(std::move(artifact));
+    } else if (json) {
       // Collect each file's diagnostics; a single array is printed below.
       std::string array = analysis::DiagnosticsToJson(
           result.sink.diagnostics(), file);
@@ -125,7 +206,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (json) {
+  if (sarif) {
+    std::printf("%s\n", analysis::DiagnosticsToSarif(artifacts).c_str());
+  } else if (json) {
     std::string out = "[";
     for (size_t i = 0; i < json_objects.size(); ++i) {
       if (i > 0) out += ",";
@@ -137,7 +220,7 @@ int main(int argc, char** argv) {
 
   if (total_errors > 0) return 1;
   if (werror && total_warnings > 0) {
-    if (!json) {
+    if (!json && !sarif) {
       std::fprintf(stderr,
                    "pfql-lint: treating %zu warning%s as errors (--werror)\n",
                    total_warnings, total_warnings == 1 ? "" : "s");
