@@ -4,7 +4,9 @@
 // multi-client throughput against the worker pool, and (d) the cost and
 // accuracy of graceful degradation: an approx query interrupted at half
 // its sample budget vs the same-seed complete run. Emits BENCH_pr4.json
-// (machine-readable) next to the human-readable table.
+// (machine-readable) next to the human-readable table, plus
+// BENCH_pr3.json carrying the serving/cache subset (a)-(c) — the
+// query-service-era metrics whose bench file was never committed.
 //
 //   bench_server [clients] [requests_per_client]
 #include <algorithm>
@@ -231,5 +233,20 @@ int main(int argc, char** argv) {
   std::ofstream out("BENCH_pr4.json");
   out << report.DumpPretty() << "\n";
   std::printf("wrote BENCH_pr4.json\n");
+
+  // The serving/cache subset under the PR3 name: in-process exact latency
+  // (cold vs cached), wire overhead, and sustained multi-client
+  // throughput — the surface the result-cache PR introduced.
+  Json pr3 = Json::Object();
+  pr3.Set("bench", "query_service");
+  for (const char* key :
+       {"in_process_exact", "tcp_ping", "tcp_throughput"}) {
+    if (const Json* section = report.Find(key); section != nullptr) {
+      pr3.Set(key, *section);
+    }
+  }
+  std::ofstream out3("BENCH_pr3.json");
+  out3 << pr3.DumpPretty() << "\n";
+  std::printf("wrote BENCH_pr3.json\n");
   return 0;
 }

@@ -1,0 +1,100 @@
+#include "sched/convergence.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace pfql {
+namespace sched {
+
+namespace {
+
+struct Segment {
+  size_t count = 0;
+  double sum = 0.0;
+  double mean() const { return sum / static_cast<double>(count); }
+  /// Unbiased Bernoulli variance n/(n-1)·p̂(1-p̂).
+  double variance() const {
+    if (count < 2) return 0.0;
+    const double p = mean();
+    return static_cast<double>(count) / static_cast<double>(count - 1) * p *
+           (1.0 - p);
+  }
+};
+
+}  // namespace
+
+ConvergenceResult SplitRhat(const std::vector<eval::ChainStats>& chains,
+                            double delta, size_t min_segment) {
+  ConvergenceResult out;
+  if (chains.size() < 2) return out;
+
+  std::vector<Segment> segments;
+  segments.reserve(chains.size() * 2);
+  for (const eval::ChainStats& chain : chains) {
+    if (chain.count < 2 * min_segment) return out;
+    // Split at the checkpoint nearest count/2 (the stream itself is not
+    // retained). Checkpoints are cumulative, so the halves are
+    // [0, cp.count) and [cp.count, count).
+    const size_t half = chain.count / 2;
+    size_t best_count = 0;
+    double best_sum = 0.0;
+    size_t best_gap = chain.count;
+    for (const auto& [count, sum] : chain.checkpoints) {
+      const size_t gap = count > half ? count - half : half - count;
+      if (count > 0 && count < chain.count && gap < best_gap) {
+        best_gap = gap;
+        best_count = count;
+        best_sum = sum;
+      }
+    }
+    if (best_count < min_segment || chain.count - best_count < min_segment) {
+      return out;
+    }
+    segments.push_back({best_count, best_sum});
+    segments.push_back({chain.count - best_count, chain.sum - best_sum});
+    out.pooled_count += chain.count;
+    out.pooled_mean += chain.sum;
+  }
+  out.pooled_mean /= static_cast<double>(out.pooled_count);
+
+  const size_t m = segments.size();
+  double mean_of_means = 0.0;
+  double nbar = 0.0;
+  for (const Segment& s : segments) {
+    mean_of_means += s.mean();
+    nbar += static_cast<double>(s.count);
+  }
+  mean_of_means /= static_cast<double>(m);
+  nbar /= static_cast<double>(m);
+
+  double w = 0.0;       // within-segment variance, averaged
+  double b_over_n = 0.0;  // between-segment variance of means / n̄ scaling
+  for (const Segment& s : segments) {
+    w += s.variance();
+    const double d = s.mean() - mean_of_means;
+    b_over_n += d * d;
+  }
+  w /= static_cast<double>(m);
+  b_over_n /= static_cast<double>(m - 1);  // = B/n̄ for segment means
+
+  const double var_plus = (nbar - 1.0) / nbar * w + b_over_n;
+  out.valid = true;
+  if (w <= 0.0) {
+    // Degenerate indicator streams: all-constant segments. Identical
+    // constants mean perfect agreement (R̂ = 1); different constants mean
+    // chains frozen apart — report the ceiling so the scheduler never
+    // declares convergence.
+    out.rhat = b_over_n > 0.0 ? kRhatCeiling : 1.0;
+  } else {
+    out.rhat = std::sqrt(var_plus / w);
+  }
+  const double z = std::sqrt(2.0 * std::log(2.0 / delta));
+  out.ci_halfwidth = std::min(
+      1.0, z * std::sqrt(std::max(var_plus, 0.0) /
+                         static_cast<double>(out.pooled_count)));
+  return out;
+}
+
+}  // namespace sched
+}  // namespace pfql

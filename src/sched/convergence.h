@@ -1,0 +1,55 @@
+// Online split-R̂ (Gelman–Rubin) convergence diagnostic over the
+// persistent-chain MCMC sampler's checkpointed tallies. Each of the C
+// chains is split at the checkpoint nearest half its recorded stream,
+// giving m = 2C segments; disagreement between segment means (between-
+// chain variance B) relative to within-segment variance W yields
+//
+//   var⁺ = (n̄-1)/n̄ · W + B/n̄,   R̂ = sqrt(var⁺ / W).
+//
+// R̂ ≈ 1 iff every chain half has visited the same stationary mixture; a
+// chain stuck in one lobe of a slow-mixing (near-reducible) kernel keeps
+// B large long after each chain looks internally converged — exactly the
+// Thm 5.6 mixing-time parameter surfacing as an observable. The segments
+// are Bernoulli indicator streams, so within-segment variance is the
+// unbiased n/(n-1)·p̂(1-p̂) without storing per-sample history.
+#ifndef PFQL_SCHED_CONVERGENCE_H_
+#define PFQL_SCHED_CONVERGENCE_H_
+
+#include <vector>
+
+#include "eval/resumable.h"
+
+namespace pfql {
+namespace sched {
+
+struct ConvergenceResult {
+  /// False until every split segment holds >= min_segment samples (the
+  /// diagnostic is meaningless on slivers); the other fields are then
+  /// unset.
+  bool valid = false;
+  /// sqrt(var⁺/W), >= 1 up to noise. Clamped to kRhatCeiling when W == 0
+  /// while B > 0 (chains frozen in different lobes — the worst case).
+  double rhat = 0.0;
+  /// Two-sided CI halfwidth at confidence 1-δ from the var⁺ estimate:
+  /// z·sqrt(var⁺/N) with the sub-Gaussian z = sqrt(2·ln(2/δ)). Unlike the
+  /// pooled iid Hoeffding bound this *widens* under cross-chain
+  /// disagreement, so an unconverged subscription keeps scheduler
+  /// priority.
+  double ci_halfwidth = 1.0;
+  size_t pooled_count = 0;
+  double pooled_mean = 0.0;
+};
+
+/// Reported when within-variance is exactly zero but chains disagree.
+inline constexpr double kRhatCeiling = 1e6;
+
+/// Computes split-R̂ over the chains' checkpointed (count, sum) streams.
+/// `delta` is the CI confidence; `min_segment` the per-segment sample
+/// floor below which the result is marked invalid.
+ConvergenceResult SplitRhat(const std::vector<eval::ChainStats>& chains,
+                            double delta, size_t min_segment = 8);
+
+}  // namespace sched
+}  // namespace pfql
+
+#endif  // PFQL_SCHED_CONVERGENCE_H_

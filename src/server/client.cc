@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <unistd.h>
@@ -62,9 +63,9 @@ Status Client::EnsureConnected() {
   return Connect(port_);
 }
 
-StatusOr<std::string> Client::RoundTrip(std::string_view request_line) {
+Status Client::SendLine(std::string_view line) {
   if (fd_ < 0) return Status::FailedPrecondition("not connected");
-  std::string out(request_line);
+  std::string out(line);
   out += '\n';
   size_t written = 0;
   while (written < out.size()) {
@@ -77,12 +78,112 @@ StatusOr<std::string> Client::RoundTrip(std::string_view request_line) {
     }
     written += static_cast<size_t>(n);
   }
+  return Status::OK();
+}
+
+StatusOr<std::string> Client::RoundTrip(std::string_view request_line) {
+  PFQL_RETURN_NOT_OK(SendLine(request_line));
   return ReadLine();
 }
 
 StatusOr<Json> Client::Call(const Json& request) {
-  PFQL_ASSIGN_OR_RETURN(std::string line, RoundTrip(request.Dump()));
-  return Json::Parse(line);
+  // Tag the request so the response can be routed by id — on a connection
+  // with live subscriptions, pushed update lines arrive interleaved ahead
+  // of the response and must not be mistaken for it.
+  Json tagged = request;
+  if (tagged.Find("id") == nullptr) {
+    tagged.Set("id", "c-" + std::to_string(next_id_++));
+  }
+  const Json want = *tagged.Find("id");
+  PFQL_RETURN_NOT_OK(SendLine(tagged.Dump()));
+  return ReadResponse(want);
+}
+
+StatusOr<Json> Client::ReadResponse(const Json& want) {
+  const std::string want_key = want.Dump();
+  for (;;) {
+    PFQL_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed->Find("event") != nullptr) {
+      pushes_.push_back(*std::move(parsed));
+      continue;
+    }
+    const Json* id = parsed->Find("id");
+    // A missing/null id means the server could not parse the request line
+    // and so could not echo the id — that error is our answer.
+    if (id == nullptr || id->is_null() || id->Dump() == want_key) {
+      return *std::move(parsed);
+    }
+    // Otherwise: a stale response to an earlier attempt that timed out
+    // client-side after the server had queued its reply. Skip it.
+  }
+}
+
+StatusOr<std::string> Client::Subscribe(const Json& request) {
+  Json req = request;
+  req.Set("method", "subscribe");
+  PFQL_ASSIGN_OR_RETURN(Json reply, Call(req));
+  const Json* ok = reply.Find("ok");
+  if (ok == nullptr || !ok->is_bool() || !ok->AsBool()) {
+    const Json* error = reply.Find("error");
+    const Json* message =
+        error != nullptr ? error->Find("message") : nullptr;
+    return Status::FailedPrecondition(
+        "subscribe rejected: " +
+        (message != nullptr && message->is_string() ? message->AsString()
+                                                    : reply.Dump()));
+  }
+  const Json* result = reply.Find("result");
+  const Json* sub = result != nullptr ? result->Find("sub") : nullptr;
+  if (sub == nullptr || !sub->is_string()) {
+    return Status::Internal("subscribe ack carries no subscription id: " +
+                            reply.Dump());
+  }
+  return sub->AsString();
+}
+
+StatusOr<Json> Client::NextPush(int64_t timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    if (!pushes_.empty()) {
+      Json push = std::move(pushes_.front());
+      pushes_.pop_front();
+      return push;
+    }
+    if (fd_ < 0) return Status::FailedPrecondition("not connected");
+    // Only hit the socket when the framing buffer has no complete line.
+    if (buffer_.find('\n') == std::string::npos) {
+      int wait_ms = -1;
+      if (timeout_ms >= 0) {
+        const auto left = std::chrono::duration_cast<
+            std::chrono::milliseconds>(deadline -
+                                       std::chrono::steady_clock::now());
+        wait_ms = static_cast<int>(std::max<int64_t>(0, left.count()));
+      }
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, wait_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return Status::Unavailable(std::string("poll: ") +
+                                   std::strerror(errno));
+      }
+      if (ready == 0) {
+        return Status::DeadlineExceeded(
+            "no subscription push within " + std::to_string(timeout_ms) +
+            " ms");
+      }
+    }
+    PFQL_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) return parsed.status();
+    if (parsed->Find("event") != nullptr) {
+      pushes_.push_back(*std::move(parsed));
+    }
+    // Responses landing here answer nothing the caller is waiting on
+    // (their Call already returned or timed out) — drop them.
+  }
 }
 
 StatusOr<Json> Client::CallWithRetry(const Json& request) {

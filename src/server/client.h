@@ -14,6 +14,7 @@
 #define PFQL_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 
@@ -45,12 +46,32 @@ class Client {
   void Disconnect();
   bool connected() const { return fd_ >= 0; }
 
-  /// Sends one request line (newline appended) and blocks for the
-  /// response line.
+  /// Sends one request line (newline appended) and blocks for the next
+  /// line off the wire, verbatim — no id routing, no push diversion. Raw
+  /// by design (wire-level tests); connections with live subscriptions
+  /// should use Call(), which routes.
   StatusOr<std::string> RoundTrip(std::string_view request_line);
 
-  /// RoundTrip + JSON parse of the response.
+  /// Sends the request and blocks for *its* response. The request is
+  /// tagged with an auto-generated "id" when the caller did not set one,
+  /// and the reply is matched by that id: server-pushed subscription lines
+  /// ("event" member) that arrive in between are diverted to the push
+  /// queue (NextPush) instead of being misread as the response.
   StatusOr<Json> Call(const Json& request);
+
+  /// Opens a streaming subscription: forces method:"subscribe", performs
+  /// the Call, and returns the subscription id from the ack. A server-side
+  /// rejection comes back as a Status carrying the error message.
+  StatusOr<std::string> Subscribe(const Json& request);
+
+  /// Pops the next pushed subscription line ({"sub","event","seq",...}),
+  /// reading from the socket as needed. timeout_ms < 0 blocks
+  /// indefinitely; 0 drains without waiting; otherwise DeadlineExceeded
+  /// once the timeout passes with no push.
+  StatusOr<Json> NextPush(int64_t timeout_ms = -1);
+
+  /// Pushed lines already received and not yet consumed by NextPush.
+  size_t BufferedPushes() const { return pushes_.size(); }
 
   /// Call with retry, backoff, and reconnect per options().retry. Retries
   /// only when the request's method is idempotent (IsIdempotent) and the
@@ -66,6 +87,10 @@ class Client {
 
  private:
   StatusOr<std::string> ReadLine();
+  Status SendLine(std::string_view line);
+  /// Reads until the response whose "id" equals `want` arrives, diverting
+  /// pushes to the queue and discarding stale responses along the way.
+  StatusOr<Json> ReadResponse(const Json& want);
   /// Reconnects to the last-connected port if the connection is down.
   Status EnsureConnected();
 
@@ -73,6 +98,9 @@ class Client {
   int fd_ = -1;
   uint16_t port_ = 0;
   std::string buffer_;
+  /// Server-pushed lines awaiting NextPush, in arrival order.
+  std::deque<Json> pushes_;
+  uint64_t next_id_ = 1;
 };
 
 }  // namespace server

@@ -13,6 +13,7 @@
 #include "eval/inflationary.h"
 #include "eval/noninflationary.h"
 #include "eval/partition.h"
+#include "eval/resumable.h"
 #include "eval/trajectory.h"
 #include "relational/text_io.h"
 #include "util/metrics.h"
@@ -507,6 +508,85 @@ StatusOr<Json> ExecuteQuery(const Request& request,
           std::string("method '") + RequestKindToString(request.kind) +
           "' is not a query");
   }
+}
+
+StatusOr<sched::SubscriptionSpec> BuildSubscription(
+    const Request& request,
+    std::shared_ptr<const datalog::Program> program,
+    std::shared_ptr<const Instance> edb) {
+  PFQL_ASSIGN_OR_RETURN(RequestKind inner, request.TargetKind());
+  PFQL_ASSIGN_OR_RETURN(QueryEvent event,
+                        datalog::ParseGroundAtom(request.event));
+  sched::SubscriptionSpec spec;
+  spec.kind = request.target;
+  spec.epsilon = request.epsilon;
+  spec.delta = request.delta;
+
+  if (inner == RequestKind::kApprox) {
+    eval::ResumableApproxOptions options;
+    options.epsilon = request.epsilon;
+    options.delta = request.delta;
+    options.seed = request.seed;
+    options.max_samples = request.max_samples;
+    spec.factory = [program = std::move(program), edb = std::move(edb),
+                    event = std::move(event), options]()
+        -> StatusOr<std::unique_ptr<eval::ResumableSampler>> {
+      return std::unique_ptr<eval::ResumableSampler>(
+          new eval::ResumableApprox(program, edb, event, options));
+    };
+    return spec;
+  }
+
+  // Non-inflationary targets: translate now (cheap, and resolution errors
+  // belong in the subscribe ack) and apply the analyzer's compile gating,
+  // so a forced-compiled subscription over an over-budget chain fails at
+  // the front door like its one-shot counterpart.
+  const analysis::CostReport plan =
+      PlanReport(request, *program, *edb, nullptr);
+  PFQL_ASSIGN_OR_RETURN(datalog::TranslatedQuery tq,
+                        datalog::TranslateNonInflationary(*program, *edb));
+  PFQL_ASSIGN_OR_RETURN(eval::Backend backend,
+                        PlanBackend(plan, request, request.target.c_str()));
+
+  if (inner == RequestKind::kMcmc) {
+    spec.is_mcmc = true;
+    eval::ResumableMcmcOptions options;
+    // >= 2 persistent chains so split-R̂ has cross-chain variance; more
+    // chains sharpen the diagnostic at the cost of per-chain depth.
+    options.num_chains = std::max<size_t>(2, request.threads);
+    // "auto" burn-in means 100 here, not a TV-mixing-time measurement: the
+    // subscription's whole point is that R̂ *observes* mixing online
+    // instead of assuming a pre-measured bound.
+    options.burn_in = request.burn_in.value_or(100);
+    options.epsilon = request.epsilon;
+    options.delta = request.delta;
+    options.seed = request.seed;
+    options.max_samples = request.max_samples;
+    options.backend = backend;
+    options.compile_max_states = request.compile_max_states;
+    spec.factory = [kernel = tq.kernel, initial = tq.initial,
+                    event = std::move(event), options]()
+        -> StatusOr<std::unique_ptr<eval::ResumableSampler>> {
+      return std::unique_ptr<eval::ResumableSampler>(
+          new eval::ResumableMcmcChains(kernel, initial, event, options));
+    };
+    return spec;
+  }
+
+  eval::ResumableTrajectoryOptions options;
+  options.steps = request.steps;
+  options.runs = request.runs;
+  options.delta = request.delta;
+  options.seed = request.seed;
+  options.backend = backend;
+  options.compile_max_states = request.compile_max_states;
+  spec.factory = [kernel = tq.kernel, initial = tq.initial,
+                  event = std::move(event), options]()
+      -> StatusOr<std::unique_ptr<eval::ResumableSampler>> {
+    return std::unique_ptr<eval::ResumableSampler>(
+        new eval::ResumableTrajectory(kernel, initial, event, options));
+  };
+  return spec;
 }
 
 }  // namespace server

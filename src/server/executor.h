@@ -6,8 +6,11 @@
 #ifndef PFQL_SERVER_EXECUTOR_H_
 #define PFQL_SERVER_EXECUTOR_H_
 
+#include <memory>
+
 #include "datalog/program.h"
 #include "relational/instance.h"
+#include "sched/scheduler.h"
 #include "server/wire.h"
 #include "util/cancellation.h"
 #include "util/json.h"
@@ -25,6 +28,18 @@ StatusOr<Json> ExecuteQuery(const Request& request,
                             const datalog::Program& program,
                             const Instance& edb,
                             const CancellationToken* cancel);
+
+/// Builds the scheduler subscription spec for a "subscribe" request:
+/// parses the event, translates non-inflationary targets, applies the same
+/// analyzer-driven backend gating as the one-shot kinds, and packages a
+/// resumable-sampler factory. Cheap — compilation and sampling happen
+/// lazily on scheduler threads. `program`/`edb` are shared so the
+/// subscription outlives registry replacement, exactly like an in-flight
+/// request. The caller fills in `fusion_key`.
+StatusOr<sched::SubscriptionSpec> BuildSubscription(
+    const Request& request,
+    std::shared_ptr<const datalog::Program> program,
+    std::shared_ptr<const Instance> edb);
 
 }  // namespace server
 }  // namespace pfql

@@ -36,6 +36,7 @@ std::string MethodLabel(const Request& request) {
 QueryService::QueryService(const ServiceOptions& options)
     : options_(options),
       cache_(options.cache_entries),
+      scheduler_(options.sched),
       pool_(options.workers, options.queue_capacity) {}
 
 QueryService::~QueryService() = default;
@@ -133,6 +134,17 @@ StatusOr<QueryService::InstanceEntry> QueryService::ResolveInstance(
 }
 
 Response QueryService::Call(const Request& request) {
+  if (request.kind == RequestKind::kSubscribe) {
+    // A subscription pushes lines outside the request/response pairing, so
+    // it only makes sense on a connection that handed us a push channel.
+    Response response = ErrorResponse(
+        request.id, RequestKindToString(request.kind),
+        Status::FailedPrecondition(
+            "subscribe requires a streaming connection"));
+    FinishRequest(request, &response, nullptr);
+    return response;
+  }
+  if (request.kind == RequestKind::kUnsubscribe) return Unsubscribe(request);
   if (!IsQueryKind(request.kind)) {
     Response response = HandleControl(request);
     FinishRequest(request, &response, nullptr);
@@ -269,6 +281,87 @@ Response QueryService::CallLine(std::string_view line) {
     return ErrorResponse(Json(), "", request.status());
   }
   return Call(*request);
+}
+
+Response QueryService::CallLineWithSink(std::string_view line,
+                                        sched::UpdateSink sink) {
+  auto request = ParseRequestLine(line);
+  if (!request.ok()) {
+    return ErrorResponse(Json(), "", request.status());
+  }
+  if (request->kind == RequestKind::kSubscribe) {
+    return Subscribe(*request, std::move(sink));
+  }
+  return Call(*request);
+}
+
+Response QueryService::Subscribe(const Request& request,
+                                 sched::UpdateSink sink) {
+  const auto start = std::chrono::steady_clock::now();
+  Response response;
+  response.id = request.id;
+  response.method = RequestKindToString(request.kind);
+
+  auto finish = [&] {
+    response.elapsed_us = ElapsedUs(start);
+    RecordOutcome(request, response);
+    FinishRequest(request, &response, nullptr);
+    return response;
+  };
+  auto fail = [&](Status status) {
+    response.status = std::move(status);
+    return finish();
+  };
+
+  auto program = ResolveProgram(request);
+  if (!program.ok()) return fail(program.status());
+  auto instance = ResolveInstance(request);
+  if (!instance.ok()) return fail(instance.status());
+  auto target = request.TargetKind();
+  if (!target.ok()) return fail(target.status());
+
+  // Fusion identity: the result-cache key of the equivalent one-shot
+  // request — two subscriptions share a sampler exactly when the cached
+  // one-shot results would collide.
+  Request inner = request;
+  inner.kind = *target;
+  const std::string fusion_key =
+      std::to_string(program->hash) + '/' + std::to_string(instance->hash) +
+      '/' + request.target + '/' + inner.CacheParams();
+
+  auto spec =
+      BuildSubscription(request, program->program, instance->instance);
+  if (!spec.ok()) return fail(spec.status());
+  spec->fusion_key = fusion_key;
+
+  auto subscribed = scheduler_.Subscribe(*spec, std::move(sink));
+  if (!subscribed.ok()) return fail(subscribed.status());
+
+  Json payload = Json::Object();
+  payload.Set("sub", subscribed->id);
+  payload.Set("target", request.target);
+  payload.Set("fused", subscribed->fused);
+  response.result = std::move(payload);
+  return finish();
+}
+
+Response QueryService::Unsubscribe(const Request& request) {
+  const auto start = std::chrono::steady_clock::now();
+  Response response;
+  response.id = request.id;
+  response.method = RequestKindToString(request.kind);
+  if (scheduler_.Unsubscribe(request.sub)) {
+    Json payload = Json::Object();
+    payload.Set("sub", request.sub);
+    response.result = std::move(payload);
+  } else {
+    response.status = Status::NotFound("no live subscription '" +
+                                       request.sub + "'");
+  }
+  response.elapsed_us = ElapsedUs(start);
+  RecordOutcome(request, response);
+  FinishRequest(request, &response, nullptr);
+  return response;
 }
 
 Response QueryService::ExecuteNow(const Request& request) {
@@ -517,6 +610,8 @@ Json QueryService::StatsJson() const {
     }
   }
   out.Set("kinds", std::move(kinds));
+
+  out.Set("scheduler", scheduler_.StatsJson());
 
   {
     std::lock_guard<std::mutex> lock(registry_mu_);

@@ -21,6 +21,7 @@
 
 #include "datalog/program.h"
 #include "relational/instance.h"
+#include "sched/scheduler.h"
 #include "server/result_cache.h"
 #include "server/wire.h"
 #include "util/thread_pool.h"
@@ -45,6 +46,9 @@ struct ServiceOptions {
   /// logging. Invoked on the calling thread after the response is built —
   /// the sink must be thread-safe if Call() is used concurrently.
   std::function<void(const Json&)> log_sink;
+  /// Streaming-subscription scheduler knobs (workers, quantum, policy,
+  /// R̂ threshold, subscription limit — sched/scheduler.h).
+  sched::SchedulerOptions sched;
 };
 
 class QueryService {
@@ -76,8 +80,27 @@ class QueryService {
 
   /// Parses one NDJSON request line and serves it. Parse failures come
   /// back as error responses (never a Status), so the wire loop always
-  /// has one response line per request line.
+  /// has one response line per request line. subscribe/unsubscribe need a
+  /// push channel and fail here with FailedPrecondition — streaming
+  /// callers use CallLineWithSink.
   Response CallLine(std::string_view line);
+
+  /// CallLine for connections that can receive pushed lines: subscribe
+  /// requests register `sink` with the scheduler (the ack response carries
+  /// the subscription id; update/complete/error lines arrive through the
+  /// sink afterwards, from scheduler threads), unsubscribe detaches, and
+  /// everything else behaves exactly like CallLine.
+  Response CallLineWithSink(std::string_view line, sched::UpdateSink sink);
+
+  /// Opens a subscription directly (in-process streaming: `pfql --watch`,
+  /// tests). The ack payload is {"sub","target","fused"}.
+  Response Subscribe(const Request& request, sched::UpdateSink sink);
+  /// Detaches one subscription; NotFound when the id is unknown (already
+  /// completed, or never existed).
+  Response Unsubscribe(const Request& request);
+
+  /// The scheduler behind subscribe/unsubscribe (tests, benches, drains).
+  sched::SampleScheduler& scheduler() { return scheduler_; }
 
   /// The `stats` payload: queue/pool gauges, per-kind latency counters,
   /// cache hit rates, and registry names.
@@ -138,6 +161,9 @@ class QueryService {
   uint64_t rejected_ = 0;
 
   // Declared last so workers stop before the state they use is destroyed.
+  // (Scheduler factories hold shared_ptrs into the registries, so the
+  // scheduler may also outlive registry replacement safely.)
+  sched::SampleScheduler scheduler_;
   ThreadPool pool_;
 };
 

@@ -26,6 +26,12 @@ struct TcpServerOptions {
   /// Hard per-line limit; longer requests get an error response and the
   /// connection is closed (defends the daemon against garbage input).
   size_t max_line_bytes = 4u << 20;
+  /// Per-connection write-queue depth. Responses and subscription pushes
+  /// funnel through one bounded queue per connection; when it fills, the
+  /// oldest droppable (incremental update) line is discarded so a slow
+  /// consumer can never block scheduler workers. Responses, completes, and
+  /// errors are never dropped.
+  size_t write_queue_lines = 256;
 };
 
 class TcpServer {

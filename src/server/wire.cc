@@ -35,6 +35,10 @@ const char* RequestKindToString(RequestKind kind) {
       return "trajectory";
     case RequestKind::kPlan:
       return "plan";
+    case RequestKind::kSubscribe:
+      return "subscribe";
+    case RequestKind::kUnsubscribe:
+      return "unsubscribe";
   }
   return "unknown";
 }
@@ -50,7 +54,8 @@ StatusOr<RequestKind> RequestKindFromString(std::string_view name) {
       RequestKind::kApprox,  RequestKind::kForever,
       RequestKind::kMcmc,    RequestKind::kPartition,
       RequestKind::kTrajectory,
-      RequestKind::kPlan};
+      RequestKind::kPlan,   RequestKind::kSubscribe,
+      RequestKind::kUnsubscribe};
   for (RequestKind kind : kAll) {
     if (name == RequestKindToString(kind)) return kind;
   }
@@ -76,11 +81,11 @@ bool IsQueryKind(RequestKind kind) {
 
 bool IsIdempotent(RequestKind kind) {
   // Queries are pure, register_* replaces by name (last write wins), and
-  // control reads carry no state — so today every kind is safe to resend.
-  // The function exists so a future mutating kind opts *out* here and the
-  // client retry gate picks that up automatically.
-  (void)kind;
-  return true;
+  // control reads carry no state. subscribe is the exception: resending it
+  // after a transport error would open a second live subscription, so the
+  // client retry gate must not replay it. (unsubscribe is safe — a replay
+  // finds the id already gone and reports NotFound.)
+  return kind != RequestKind::kSubscribe;
 }
 
 namespace {
@@ -146,6 +151,17 @@ std::string Request::CacheParams() const {
       break;
   }
   return out;
+}
+
+StatusOr<RequestKind> Request::TargetKind() const {
+  PFQL_ASSIGN_OR_RETURN(RequestKind inner, RequestKindFromString(target));
+  if (inner != RequestKind::kApprox && inner != RequestKind::kMcmc &&
+      inner != RequestKind::kTrajectory) {
+    return Status::InvalidArgument(
+        "field 'target' must be a sampled kind "
+        "(\"approx\", \"mcmc\", or \"trajectory\")");
+  }
+  return inner;
 }
 
 StatusOr<Request> ParseRequest(const Json& json) {
@@ -238,10 +254,11 @@ StatusOr<Request> ParseRequest(const Json& json) {
   }
   if (request.backend != "auto" && request.kind != RequestKind::kMcmc &&
       request.kind != RequestKind::kTrajectory &&
-      request.kind != RequestKind::kPlan) {
+      request.kind != RequestKind::kPlan &&
+      request.kind != RequestKind::kSubscribe) {
     return Status::InvalidArgument(
-        "'backend' only applies to methods 'mcmc', 'trajectory', and "
-        "'plan'");
+        "'backend' only applies to methods 'mcmc', 'trajectory', 'plan', "
+        "and 'subscribe'");
   }
   PFQL_RETURN_NOT_OK(positive_size("compile_max_states",
                                    request.compile_max_states,
@@ -287,6 +304,38 @@ StatusOr<Request> ParseRequest(const Json& json) {
       return Status::InvalidArgument(
           "register_instance needs 'name' and 'data_text'");
     }
+  }
+  PFQL_ASSIGN_OR_RETURN(request.target, json.GetString("target", ""));
+  PFQL_ASSIGN_OR_RETURN(request.sub, json.GetString("sub", ""));
+  if (!request.target.empty() && request.kind != RequestKind::kSubscribe) {
+    return Status::InvalidArgument(
+        "'target' only applies to method 'subscribe'");
+  }
+  if (request.kind == RequestKind::kSubscribe) {
+    if (request.target.empty()) {
+      return Status::InvalidArgument(
+          "subscribe needs a 'target' sampled kind");
+    }
+    PFQL_RETURN_NOT_OK(request.TargetKind().status());
+    // Same shape rules as the target query kind: the subscription resolves
+    // a program, an instance, and an event before any sampling starts.
+    if (request.program.empty() == request.program_text.empty()) {
+      return Status::InvalidArgument(
+          "subscribe needs exactly one of 'program' (registered name) or "
+          "'program_text' (inline source)");
+    }
+    if (!request.data.empty() && !request.data_text.empty()) {
+      return Status::InvalidArgument(
+          "'data' and 'data_text' are mutually exclusive");
+    }
+    if (request.event.empty()) {
+      return Status::InvalidArgument(
+          "subscribe needs an 'event' ground atom");
+    }
+  }
+  if (request.kind == RequestKind::kUnsubscribe && request.sub.empty()) {
+    return Status::InvalidArgument(
+        "unsubscribe needs a 'sub' subscription id");
   }
   return request;
 }

@@ -38,6 +38,10 @@ enum class RequestKind {
   kPartition,  ///< partitioned exact forever evaluation (Sec 5.1)
   kTrajectory, ///< Def 3.2 time-average estimate (assumption-free sampler)
   kPlan,       ///< cost & chain-structure analysis only; executes nothing
+  // Streaming plane (src/sched/): long-lived subscriptions that push
+  // incremental update lines outside the request/response pairing.
+  kSubscribe,   ///< open a streaming subscription on a sampled target kind
+  kUnsubscribe, ///< detach a subscription by id
 };
 
 const char* RequestKindToString(RequestKind kind);
@@ -109,11 +113,19 @@ struct Request {
   bool trace = false;
   /// "metrics" only: "json" (default) or "prometheus" exposition text.
   std::string format;
+  /// "subscribe" only: the sampled kind to stream ("approx", "mcmc", or
+  /// "trajectory").
+  std::string target;
+  /// "unsubscribe" only: the subscription id from the subscribe ack.
+  std::string sub;
 
   /// Canonical parameter fingerprint for the result cache: every field
   /// that affects the result value for this kind (event, budgets, seed for
   /// sampled kinds, ...) — and nothing that does not (deadline, id).
   std::string CacheParams() const;
+
+  /// "subscribe" only: the target kind parsed from `target`.
+  StatusOr<RequestKind> TargetKind() const;
 };
 
 /// Parses one request object; TypeError/InvalidArgument on a malformed or

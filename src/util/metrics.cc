@@ -1,6 +1,7 @@
 #include "util/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <thread>
 #include <utility>
@@ -29,6 +30,15 @@ std::string PromName(std::string_view name) {
   std::string out(name);
   std::replace(out.begin(), out.end(), '.', '_');
   return out;
+}
+
+// Shortest round-tripping decimal form, Prometheus style ("1.05", not
+// "1.050000"): %g with enough digits, which also keeps golden expositions
+// readable.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
 }
 
 }  // namespace
@@ -112,6 +122,8 @@ void MetricsSnapshot::MergeFrom(const MetricsSnapshot& other) {
   for (const auto& s : other.gauges) {
     if (GaugeSample* mine = find_gauge(s)) {
       mine->value = s.value;  // gauges: last write wins
+      mine->is_double = s.is_double;
+      mine->dvalue = s.dvalue;
     } else {
       gauges.push_back(s);
     }
@@ -146,8 +158,12 @@ Json MetricsSnapshot::ToJson() const {
   out.Set("counters", std::move(counters_json));
   Json gauges_json = Json::Object();
   for (const auto& s : gauges) {
-    gauges_json.Set(DisplayKey(s.name, s.labels),
-                    static_cast<int64_t>(s.value));
+    if (s.is_double) {
+      gauges_json.Set(DisplayKey(s.name, s.labels), s.dvalue);
+    } else {
+      gauges_json.Set(DisplayKey(s.name, s.labels),
+                      static_cast<int64_t>(s.value));
+    }
   }
   out.Set("gauges", std::move(gauges_json));
   Json histograms_json = Json::Object();
@@ -190,7 +206,9 @@ std::string MetricsSnapshot::ToPrometheusText() const {
     type_line(family, "gauge", &last);
     out += family;
     if (!s.labels.empty()) out += "{" + s.labels + "}";
-    out += " " + std::to_string(s.value) + "\n";
+    out += " " +
+           (s.is_double ? FormatDouble(s.dvalue) : std::to_string(s.value)) +
+           "\n";
   }
   last.clear();
   for (const auto& s : histograms) {
@@ -280,7 +298,8 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
     }
     for (const auto& [key, entry] : shard.gauges) {
       gauges[key] = {entry.first.name, entry.first.labels,
-                     entry.second->Value()};
+                     entry.second->Value(), entry.second->is_double(),
+                     entry.second->DoubleValue()};
     }
     for (const auto& [key, entry] : shard.histograms) {
       MetricsSnapshot::HistogramSample sample;

@@ -73,15 +73,33 @@ class Counter {
 };
 
 /// Last-value gauge (queue depths, samples/sec). Single atomic slot: gauges
-/// are written from one place at a time, not hammered.
+/// are written from one place at a time, not hammered. Ratio-valued series
+/// (R̂, hit rates) use SetDouble; a gauge stays in whichever mode it was
+/// last written in, and snapshots render doubles with full precision.
 class Gauge {
  public:
-  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    double_mode_.store(false, std::memory_order_relaxed);
+  }
   void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  void SetDouble(double v) {
+    dvalue_.store(v, std::memory_order_relaxed);
+    double_mode_.store(true, std::memory_order_relaxed);
+  }
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  bool is_double() const {
+    return double_mode_.load(std::memory_order_relaxed);
+  }
+  double DoubleValue() const {
+    return is_double() ? dvalue_.load(std::memory_order_relaxed)
+                       : static_cast<double>(Value());
+  }
 
  private:
   std::atomic<int64_t> value_{0};
+  std::atomic<double> dvalue_{0.0};
+  std::atomic<bool> double_mode_{false};
 };
 
 /// Fixed-bucket histogram over int64 observations. Bounds are inclusive
@@ -137,6 +155,10 @@ struct MetricsSnapshot {
     std::string name;
     std::string labels;
     int64_t value = 0;
+    /// Double-mode gauges (Gauge::SetDouble) carry their value here and
+    /// render it instead of `value`.
+    bool is_double = false;
+    double dvalue = 0.0;
   };
   struct HistogramSample {
     std::string name;

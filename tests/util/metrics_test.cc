@@ -184,7 +184,13 @@ TEST(PrometheusTest, GoldenExposition) {
       ->Increment(3);
   registry.GetCounter("pfql_requests_total", "method=\"exact\"")
       ->Increment(1);
+  registry.GetCounter("pfql_sched_samples_total", "kind=\"mcmc\"")
+      ->Increment(512);
   registry.GetGauge("pfql_pool_active")->Set(2);
+  // The scheduler families exercise the double-gauge mode (R̂ is a real
+  // number) next to the int gauges.
+  registry.GetGauge("pfql_sched_active_subscriptions")->Set(4);
+  registry.GetGauge("pfql_sched_rhat")->SetDouble(1.0625);
   Histogram* h = registry.GetHistogram("pfql_request_latency_us", {10, 100},
                                        "method=\"approx\"");
   h->Observe(5);
@@ -195,8 +201,14 @@ TEST(PrometheusTest, GoldenExposition) {
       "# TYPE pfql_requests_total counter\n"
       "pfql_requests_total{method=\"approx\"} 3\n"
       "pfql_requests_total{method=\"exact\"} 1\n"
+      "# TYPE pfql_sched_samples_total counter\n"
+      "pfql_sched_samples_total{kind=\"mcmc\"} 512\n"
       "# TYPE pfql_pool_active gauge\n"
       "pfql_pool_active 2\n"
+      "# TYPE pfql_sched_active_subscriptions gauge\n"
+      "pfql_sched_active_subscriptions 4\n"
+      "# TYPE pfql_sched_rhat gauge\n"
+      "pfql_sched_rhat 1.0625\n"
       "# TYPE pfql_request_latency_us histogram\n"
       "pfql_request_latency_us_bucket{method=\"approx\",le=\"10\"} 1\n"
       "pfql_request_latency_us_bucket{method=\"approx\",le=\"100\"} 2\n"

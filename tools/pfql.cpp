@@ -20,6 +20,14 @@
 //                   no --request, reads request lines from stdin)
 //   pfql client metrics --port N [--prom]   (scrape the daemon's metric
 //                   registry; --prom prints Prometheus text exposition)
+//   pfql client subscribe --port N --target approx|mcmc|trajectory
+//                   --program FILE --data FILE --event 'cur(3)' [...]
+//                   (stream update lines until the subscription completes)
+//
+// approx/mcmc/trajectory also accept --watch: instead of one blocking
+// evaluation, the query runs as an in-process streaming subscription and
+// every incremental update line ({estimate, ci_halfwidth, samples, ...})
+// prints as it lands, until the estimate converges or the budget runs out.
 //
 // Query subcommands also accept [--threads N] [--timeout-ms N] [--json].
 // --json prints the wire-format response object of docs/SERVER.md (the
@@ -28,11 +36,13 @@
 //
 // Programs use the datalog syntax of datalog/ast.h; data files use the
 // relational/text_io.h instance format; events are ground atoms.
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -42,6 +52,7 @@
 #include "server/client.h"
 #include "server/daemon.h"
 #include "server/executor.h"
+#include "server/query_service.h"
 #include "server/wire.h"
 #include "util/cancellation.h"
 #include "util/json.h"
@@ -65,7 +76,11 @@ int Usage() {
       "            [--compile-max-states N]\n"
       "       pfql client --port N [--request '<json>'] [--retries N]\n"
       "            [--max-backoff-ms N] [--attempt-timeout-ms N]\n"
-      "       pfql client metrics --port N [--prom]\n");
+      "       pfql client metrics --port N [--prom]\n"
+      "       pfql client subscribe --port N --target "
+      "approx|mcmc|trajectory\n"
+      "            --program FILE --data FILE --event 'rel(v, ...)'\n"
+      "       pfql approx|mcmc|trajectory ... --watch\n");
   return 2;
 }
 
@@ -84,6 +99,7 @@ struct Args {
   std::map<std::string, std::string> options;
   bool json = false;
   bool prom = false;
+  bool watch = false;
 
   bool Has(const std::string& key) const { return options.count(key) > 0; }
   std::string Get(const std::string& key, const std::string& fallback) const {
@@ -105,6 +121,10 @@ StatusOr<Args> ParseArgs(int argc, char** argv) {
     }
     if (key == "--prom") {
       args.prom = true;
+      continue;
+    }
+    if (key == "--watch") {
+      args.watch = true;
       continue;
     }
     if (key.rfind("--", 0) != 0) {
@@ -343,6 +363,80 @@ int RunParse(const Args& args, const std::string& program_text) {
   return 0;
 }
 
+// Builds the wire subscribe request object for `pfql client subscribe`
+// from flags (an explicit --request wins verbatim).
+StatusOr<Json> BuildSubscribeRequest(const Args& args) {
+  if (args.Has("request")) return Json::Parse(args.Get("request", ""));
+  if (!args.Has("target") || !args.Has("program") || !args.Has("event")) {
+    return Status::InvalidArgument(
+        "client subscribe needs --target, --program, and --event "
+        "(or a full --request)");
+  }
+  Json request = Json::Object();
+  request.Set("method", std::string("subscribe"));
+  request.Set("target", args.Get("target", ""));
+  PFQL_ASSIGN_OR_RETURN(std::string program_text,
+                        ReadFile(args.Get("program", "")));
+  request.Set("program_text", program_text);
+  if (args.Has("data")) {
+    PFQL_ASSIGN_OR_RETURN(std::string data_text,
+                          ReadFile(args.Get("data", "")));
+    request.Set("data_text", data_text);
+  }
+  request.Set("event", args.Get("event", ""));
+  try {
+    request.Set("epsilon", std::stod(args.Get("epsilon", "0.05")));
+    request.Set("delta", std::stod(args.Get("delta", "0.05")));
+    request.Set("seed",
+                static_cast<int64_t>(std::stoll(args.Get("seed", "42"))));
+    request.Set("threads", static_cast<int64_t>(
+                               std::stoll(args.Get("threads", "1"))));
+    request.Set("steps", static_cast<int64_t>(
+                             std::stoll(args.Get("steps", "1000"))));
+    request.Set("runs",
+                static_cast<int64_t>(std::stoll(args.Get("runs", "16"))));
+    if (args.Has("max-samples")) {
+      request.Set("max_samples", static_cast<int64_t>(std::stoll(
+                                     args.Get("max-samples", "0"))));
+    }
+    const std::string burn = args.Get("burn-in", "auto");
+    if (burn != "auto") {
+      request.Set("burn_in", static_cast<int64_t>(std::stoll(burn)));
+    }
+    request.Set("compile_max_states",
+                static_cast<int64_t>(
+                    std::stoll(args.Get("compile-max-states", "4096"))));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed numeric flag value");
+  }
+  request.Set("backend", args.Get("backend", "auto"));
+  return request;
+}
+
+// `pfql client subscribe`: opens one subscription and prints every pushed
+// line until its complete/error event arrives. Exit 0 on a clean complete,
+// 1 on a stream error.
+int RunClientSubscribe(server::Client& client, const Args& args) {
+  auto request = BuildSubscribeRequest(args);
+  if (!request.ok()) return Fail(request.status(), args, "subscribe");
+  auto sub = client.Subscribe(*request);
+  if (!sub.ok()) return Fail(sub.status(), args, "subscribe");
+  for (;;) {
+    auto push = client.NextPush(-1);
+    if (!push.ok()) return Fail(push.status(), args, "subscribe");
+    std::printf("%s\n", push->Dump().c_str());
+    std::fflush(stdout);
+    const Json* event = push->Find("event");
+    const Json* push_sub = push->Find("sub");
+    if (event == nullptr || !event->is_string() || push_sub == nullptr ||
+        !push_sub->is_string() || push_sub->AsString() != *sub) {
+      continue;
+    }
+    if (event->AsString() == "complete") return 0;
+    if (event->AsString() == "error") return 1;
+  }
+}
+
 int RunClient(const Args& args) {
   if (!args.Has("port")) return Usage();
   server::ClientOptions options;
@@ -364,6 +458,10 @@ int RunClient(const Args& args) {
   Status status = client.Connect(
       static_cast<uint16_t>(std::stoul(args.Get("port", "0"))));
   if (!status.ok()) return Fail(status, args, "client");
+
+  if (!args.positionals.empty() && args.positionals[0] == "subscribe") {
+    return RunClientSubscribe(client, args);
+  }
 
   // `pfql client metrics [--prom]`: one metrics request; --prom prints the
   // raw Prometheus text exposition (scrape-ready), default prints the JSON
@@ -441,6 +539,45 @@ int RunClient(const Args& args) {
     if (!round_trip(line)) break;
   }
   return exit_code;
+}
+
+// --watch: run the query as an in-process streaming subscription. Each
+// scheduler quantum pushes one NDJSON update line; the loop ends when the
+// estimate converges, the budget runs out, or the sampler errors.
+int RunWatch(const Args& args, const server::Request& query) {
+  server::ServiceOptions options;
+  server::QueryService service(options);
+
+  server::Request request = query;
+  request.target = server::RequestKindToString(query.kind);
+  request.kind = server::RequestKind::kSubscribe;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  bool errored = false;
+  auto sink = [&](const std::string& line, bool /*droppable*/) {
+    std::lock_guard<std::mutex> lock(mu);
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+    if (auto parsed = Json::Parse(line); parsed.ok()) {
+      const Json* event = parsed->Find("event");
+      if (event != nullptr && event->is_string()) {
+        if (event->AsString() == "complete") done = true;
+        if (event->AsString() == "error") done = errored = true;
+      }
+    }
+    cv.notify_all();
+  };
+
+  server::Response ack = service.Subscribe(request, sink);
+  if (!ack.status.ok()) return Fail(ack.status, args, "subscribe");
+  std::printf("%s\n", server::SerializeResponse(ack).c_str());
+  std::fflush(stdout);
+
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return errored ? 1 : 0;
 }
 
 }  // namespace
@@ -525,6 +662,18 @@ int main(int argc, char** argv) {
                       "--fallback approx is only valid with 'exact'"),
                   args, args.mode);
     }
+  }
+
+  if (args.watch) {
+    if (request.kind != server::RequestKind::kApprox &&
+        request.kind != server::RequestKind::kMcmc &&
+        request.kind != server::RequestKind::kTrajectory) {
+      return Fail(Status::InvalidArgument(
+                      "--watch requires a sampled kind "
+                      "(approx, mcmc, or trajectory)"),
+                  args, args.mode);
+    }
+    return RunWatch(args, request);
   }
 
   auto program = datalog::ParseProgram(request.program_text);
