@@ -1,0 +1,282 @@
+// Router (pfqlr) serving benchmark: what does the extra hop cost, and
+// does sharding actually buy throughput?
+//
+//   (a) Routed-ping overhead: p50/p99 ping latency through a 1-worker
+//       router vs straight to that same worker. The overhead gate is
+//       p50 <= 100us — the proxy adds one loopback round trip plus a
+//       queue hand-off, nothing more.
+//   (b) Sharded throughput: the same balanced approx workload against a
+//       single pfqld vs a 4-worker fleet behind the router. Each request
+//       carries an injected 10 ms worker-pool delay
+//       (util.thread_pool.run=p1:10), making the workload latency-bound —
+//       the regime sharding targets, and the only way a scaling claim is
+//       measurable on a single-core CI box. Seeds are chosen so the
+//       slot table spreads requests evenly over the fleet. The gate is
+//       >= 2.5x (ideal 4x).
+//
+// Emits BENCH_pr9.json and exits non-zero when either gate fails, so the
+// CI perf-smoke job can run it directly.
+//
+//   bench_router [requests_per_worker]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "router/hash_ring.h"
+#include "router/router.h"
+#include "router/worker.h"
+#include "server/client.h"
+#include "server/wire.h"
+#include "util/json.h"
+
+using namespace pfql;
+
+namespace {
+
+constexpr char kCoinProgram[] = "flip(<K>, V) :- opts(K, V).\n";
+constexpr char kCoinData[] =
+    "relation opts(k, v) {\n  (0, 0)\n  (0, 1)\n}\n";
+// Every worker-pool task sleeps 10 ms: requests become latency-bound, so
+// fleet size — not core count — sets the throughput ceiling.
+constexpr char kDelayFault[] = "util.thread_pool.run=p1:10";
+
+Json ApproxRequest(uint64_t seed) {
+  Json request = Json::Object();
+  request.Set("method", "approx")
+      .Set("program_text", kCoinProgram)
+      .Set("data_text", kCoinData)
+      .Set("event", "flip(0, 1)")
+      .Set("epsilon", 0.2)
+      .Set("delta", 0.2)
+      .Set("no_cache", true)
+      .Set("seed", static_cast<int64_t>(seed))
+      .Set("max_samples", static_cast<int64_t>(64));
+  return request;
+}
+
+/// The worker a request lands on under a full 4-worker table — computed
+/// with the router's own key recipe (kind|target|CacheParams).
+int WorkerOf(const Json& request, const std::vector<int>& table) {
+  auto parsed = server::ParseRequest(request);
+  if (!parsed.ok()) return -1;
+  std::string key = server::RequestKindToString(parsed->kind);
+  key += '|';
+  key += parsed->target;
+  key += '|';
+  key += parsed->CacheParams();
+  return table[router::SlotOf(router::HashKey(key))];
+}
+
+double Percentile(std::vector<double> us, double p) {
+  if (us.empty()) return 0.0;
+  std::sort(us.begin(), us.end());
+  const size_t idx = static_cast<size_t>(p * static_cast<double>(us.size()));
+  return us[idx >= us.size() ? us.size() - 1 : idx];
+}
+
+/// p50/p99 of `count` ping round trips against `port`.
+StatusOr<std::pair<double, double>> PingLatency(uint16_t port, int count) {
+  server::Client client;
+  PFQL_RETURN_NOT_OK(client.Connect(port));
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    auto response = client.RoundTrip("{\"method\":\"ping\"}");
+    const auto end = std::chrono::steady_clock::now();
+    PFQL_RETURN_NOT_OK(response.status());
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(end - start).count());
+  }
+  return std::make_pair(Percentile(lat_us, 0.5), Percentile(lat_us, 0.99));
+}
+
+/// Drives `requests` through `threads` connections; wall-clock ms, or a
+/// negative value when any call fails.
+double DriveLoad(uint16_t port, const std::vector<Json>& requests,
+                 int threads) {
+  std::atomic<int> failures{0};
+  std::atomic<size_t> next{0};
+  const double wall_ms = bench::TimeMs([&] {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&] {
+        server::Client client;
+        if (!client.Connect(port).ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (size_t i = next.fetch_add(1); i < requests.size();
+             i = next.fetch_add(1)) {
+          auto reply = client.Call(requests[i]);
+          const Json* ok = reply.ok() ? reply->Find("ok") : nullptr;
+          if (ok == nullptr || !ok->is_bool() || !ok->AsBool()) {
+            failures.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  });
+  return failures.load() == 0 ? wall_ms : -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int per_worker = argc > 1 ? std::atoi(argv[1]) : 24;
+  constexpr int kFleet = 4;
+  constexpr int kLoadThreads = 16;
+
+  Json report = Json::Object();
+  report.Set("bench", "router");
+  bool gates_ok = true;
+
+  // (a) Routed-ping overhead vs the worker underneath.
+  {
+    router::RouterOptions options;
+    options.num_workers = 1;
+    options.pfqld_binary = PFQLD_BINARY;
+    options.worker_args = {"--workers", "2", "--quiet"};
+    options.probe_interval_ms = 500;
+    router::Router router(options);
+    if (!router.Start().ok()) {
+      std::fprintf(stderr, "bench_router: cannot start router\n");
+      return 1;
+    }
+    const Json stats = router.StatsJson();
+    const uint16_t worker_port = static_cast<uint16_t>(
+        stats.Find("workers")->items()[0].Find("port")->AsInt());
+
+    constexpr int kPings = 2000;
+    auto direct = PingLatency(worker_port, kPings);
+    auto routed = PingLatency(router.port(), kPings);
+    router.Stop();
+    if (!direct.ok() || !routed.ok()) {
+      std::fprintf(stderr, "bench_router: ping benchmark failed\n");
+      return 1;
+    }
+    const double overhead_p50 = routed->first - direct->first;
+    bench::PrintRow({"ping", "direct_p50_us", bench::Fmt(direct->first),
+                     "routed_p50_us", bench::Fmt(routed->first),
+                     "overhead_us", bench::Fmt(overhead_p50)});
+    Json ping = Json::Object();
+    ping.Set("round_trips", kPings);
+    ping.Set("direct_p50_us", direct->first);
+    ping.Set("direct_p99_us", direct->second);
+    ping.Set("routed_p50_us", routed->first);
+    ping.Set("routed_p99_us", routed->second);
+    ping.Set("overhead_p50_us", overhead_p50);
+    ping.Set("gate_overhead_p50_us", 100.0);
+    const bool pass = overhead_p50 <= 100.0;
+    ping.Set("gate_passed", pass);
+    if (!pass) {
+      std::fprintf(stderr,
+                   "bench_router: GATE FAILED routed-ping p50 overhead "
+                   "%.1fus > 100us\n",
+                   overhead_p50);
+      gates_ok = false;
+    }
+    report.Set("routed_ping", std::move(ping));
+  }
+
+  // (b) Sharded throughput under a latency-bound workload: seeds picked so
+  // the deterministic slot table gives every worker an equal share.
+  {
+    const std::vector<int> table = router::BuildSlotTable({0, 1, 2, 3});
+    std::vector<Json> requests;
+    std::vector<int> quota(kFleet, per_worker);
+    for (uint64_t seed = 1; static_cast<int>(requests.size()) <
+                            per_worker * kFleet && seed < 100000;
+         ++seed) {
+      Json request = ApproxRequest(seed);
+      const int worker = WorkerOf(request, table);
+      if (worker >= 0 && quota[static_cast<size_t>(worker)] > 0) {
+        --quota[static_cast<size_t>(worker)];
+        requests.push_back(std::move(request));
+      }
+    }
+    const int total = static_cast<int>(requests.size());
+
+    // Baseline: one bare pfqld, same delay fault, same request stream.
+    double single_ms = -1.0;
+    {
+      router::WorkerSpawnOptions spawn;
+      spawn.binary = PFQLD_BINARY;
+      spawn.extra_args = {"--workers", "1", "--queue", "256", "--quiet",
+                          "--faults", kDelayFault};
+      auto worker = router::WorkerProcess::Spawn(spawn);
+      if (!worker.ok()) {
+        std::fprintf(stderr, "bench_router: cannot spawn baseline pfqld\n");
+        return 1;
+      }
+      single_ms = DriveLoad((*worker)->port(), requests, kLoadThreads);
+      (*worker)->Terminate();
+      (*worker)->WaitExit(2000);
+    }
+
+    // Fleet: 4 workers behind the router, identical per-worker shape.
+    double routed_ms = -1.0;
+    {
+      router::RouterOptions options;
+      options.num_workers = kFleet;
+      options.pfqld_binary = PFQLD_BINARY;
+      options.worker_args = {"--workers", "1", "--queue", "256", "--quiet",
+                             "--faults", kDelayFault};
+      options.probe_interval_ms = 500;
+      router::Router router(options);
+      if (!router.Start().ok()) {
+        std::fprintf(stderr, "bench_router: cannot start 4-worker router\n");
+        return 1;
+      }
+      routed_ms = DriveLoad(router.port(), requests, kLoadThreads);
+      router.Stop();
+    }
+    if (single_ms < 0 || routed_ms < 0) {
+      std::fprintf(stderr, "bench_router: load run saw failures\n");
+      return 1;
+    }
+
+    const double single_rps = total * 1000.0 / single_ms;
+    const double routed_rps = total * 1000.0 / routed_ms;
+    const double speedup = single_rps > 0 ? routed_rps / single_rps : 0.0;
+    bench::PrintRow({"throughput", "single_rps", bench::Fmt(single_rps, 1),
+                     "fleet_rps", bench::Fmt(routed_rps, 1), "speedup",
+                     bench::Fmt(speedup, 2)});
+    Json sharding = Json::Object();
+    sharding.Set("requests", total);
+    sharding.Set("load_threads", kLoadThreads);
+    sharding.Set("workers", kFleet);
+    sharding.Set("injected_delay", kDelayFault);
+    sharding.Set("single_wall_ms", single_ms);
+    sharding.Set("single_rps", single_rps);
+    sharding.Set("fleet_wall_ms", routed_ms);
+    sharding.Set("fleet_rps", routed_rps);
+    sharding.Set("speedup", speedup);
+    sharding.Set("gate_speedup", 2.5);
+    const bool pass = speedup >= 2.5;
+    sharding.Set("gate_passed", pass);
+    if (!pass) {
+      std::fprintf(stderr,
+                   "bench_router: GATE FAILED fleet speedup %.2fx < 2.5x\n",
+                   speedup);
+      gates_ok = false;
+    }
+    report.Set("sharded_throughput", std::move(sharding));
+  }
+
+  report.Set("gates_passed", gates_ok);
+  std::ofstream out("BENCH_pr9.json");
+  out << report.DumpPretty() << "\n";
+  std::printf("wrote BENCH_pr9.json\n");
+  return gates_ok ? 0 : 2;
+}

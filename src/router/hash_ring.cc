@@ -1,0 +1,52 @@
+#include "router/hash_ring.h"
+
+namespace pfql {
+namespace router {
+
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashKey(std::string_view key) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis
+  for (const char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return h;
+}
+
+size_t SlotOf(uint64_t key_hash) {
+  // Mix before masking: FNV's low bits are weaker than its high bits.
+  return static_cast<size_t>(Mix64(key_hash) & (kNumSlots - 1));
+}
+
+int SlotOwner(size_t slot, const std::vector<int>& live) {
+  // Salts keep the two hash roles independent: a slot index and a worker
+  // index never collide in the score space.
+  const uint64_t slot_salt =
+      Mix64(0x5107ULL + slot * 0x9e3779b97f4a7c15ULL);
+  int owner = -1;
+  uint64_t best = 0;
+  for (const int w : live) {
+    const uint64_t score =
+        Mix64(slot_salt ^ Mix64(0x3072ce25ULL + static_cast<uint64_t>(w)));
+    if (owner < 0 || score > best) {
+      best = score;
+      owner = w;
+    }
+  }
+  return owner;
+}
+
+std::vector<int> BuildSlotTable(const std::vector<int>& live) {
+  std::vector<int> table(kNumSlots, -1);
+  for (size_t s = 0; s < kNumSlots; ++s) table[s] = SlotOwner(s, live);
+  return table;
+}
+
+}  // namespace router
+}  // namespace pfql

@@ -1,0 +1,54 @@
+// Slot-granular rendezvous hashing for the pfqlr request router.
+//
+// Request cache keys hash onto a fixed table of kNumSlots slots; each slot
+// is owned by the live worker with the highest rendezvous score
+// Mix64(slot_salt ^ Mix64(worker_salt)). Two properties matter here:
+//
+//   * stability — a request's slot depends only on its cache key, so two
+//     identical queries land on the same worker and share that worker's
+//     result cache;
+//   * minimal movement — when a worker dies (or rejoins), only the slots
+//     it owned (on average kNumSlots / live_workers of them) change owner;
+//     every other key keeps its worker and its warm cache. Ring hashing
+//     gives the same guarantee but needs virtual nodes and a sorted ring;
+//     rendezvous over a handful of workers is a max over live scores.
+//
+// The slot table doubles as the router's ownership gauge
+// (pfql_router_slots_owned{worker=...}): recompute + diff = exactly which
+// keys failed over.
+#ifndef PFQL_ROUTER_HASH_RING_H_
+#define PFQL_ROUTER_HASH_RING_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace pfql {
+namespace router {
+
+/// Number of hash slots. Power of two; 64 slots over ≤ 16 workers keeps
+/// per-worker ownership within a few slots of even.
+inline constexpr size_t kNumSlots = 64;
+
+/// splitmix64 finalizer: a cheap, well-distributed 64-bit mixer.
+uint64_t Mix64(uint64_t x);
+
+/// FNV-1a over the key bytes (the request's kind + CacheParams fingerprint).
+uint64_t HashKey(std::string_view key);
+
+/// The slot a key hash belongs to.
+size_t SlotOf(uint64_t key_hash);
+
+/// Rendezvous owner of one slot among `live` worker indices: the index
+/// with the highest Mix64(slot_salt ^ Mix64(worker_salt)) score, or -1
+/// when `live` is empty. Deterministic in (slot, live set).
+int SlotOwner(size_t slot, const std::vector<int>& live);
+
+/// Full slot→owner table over the live set (kNumSlots entries, -1 when no
+/// worker is live).
+std::vector<int> BuildSlotTable(const std::vector<int>& live);
+
+}  // namespace router
+}  // namespace pfql
+
+#endif  // PFQL_ROUTER_HASH_RING_H_

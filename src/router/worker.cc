@@ -1,0 +1,170 @@
+#include "router/worker.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/json.h"
+
+namespace pfql {
+namespace router {
+
+namespace {
+
+/// Reads from `fd` until the first newline or the deadline; returns the
+/// line without the newline.
+StatusOr<std::string> ReadLineWithDeadline(int fd, int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::string line;
+  char c = 0;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) {
+      return Status::DeadlineExceeded(
+          "worker printed no handshake line within " +
+          std::to_string(timeout_ms) + "ms");
+    }
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("poll: ") + std::strerror(errno));
+    }
+    if (ready == 0) continue;  // loop re-checks the deadline
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n == 0) {
+      return Status::Unavailable(
+          "worker closed stdout before the handshake (startup failure?)");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("read: ") + std::strerror(errno));
+    }
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<WorkerProcess>> WorkerProcess::Spawn(
+    const WorkerSpawnOptions& options) {
+  int pipefd[2];
+  if (::pipe(pipefd) != 0) {
+    return Status::Internal(std::string("pipe: ") + std::strerror(errno));
+  }
+
+  std::vector<std::string> args;
+  args.push_back(options.binary);
+  args.push_back("--port");
+  args.push_back("0");
+  for (const std::string& a : options.extra_args) args.push_back(a);
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    return Status::Internal(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: stdout -> pipe; stderr stays inherited so worker logs land in
+    // the router's stderr stream (CI captures them for chaos post-mortems).
+    ::dup2(pipefd[1], STDOUT_FILENO);
+    ::close(pipefd[0]);
+    ::close(pipefd[1]);
+    ::execv(options.binary.c_str(), argv.data());
+    // exec failed; the parent sees stdout close with no handshake.
+    std::string msg = "pfqlr: exec ";
+    msg += options.binary;
+    msg += ": ";
+    msg += std::strerror(errno);
+    msg += '\n';
+    [[maybe_unused]] ssize_t n =
+        ::write(STDERR_FILENO, msg.data(), msg.size());
+    ::_exit(127);
+  }
+
+  ::close(pipefd[1]);
+  auto fail = [&](Status status) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
+    ::close(pipefd[0]);
+    return status;
+  };
+
+  auto line = ReadLineWithDeadline(pipefd[0], options.spawn_timeout_ms);
+  if (!line.ok()) return fail(line.status());
+  auto json = Json::Parse(*line);
+  if (!json.ok()) {
+    return fail(Status::Internal("worker handshake is not JSON: '" + *line +
+                                 "'"));
+  }
+  const Json* port = json->Find("port");
+  if (port == nullptr || !port->is_number() || port->AsInt() <= 0 ||
+      port->AsInt() > 65535) {
+    return fail(Status::Internal("worker handshake has no usable port: '" +
+                                 *line + "'"));
+  }
+  return std::unique_ptr<WorkerProcess>(new WorkerProcess(
+      pid, static_cast<uint16_t>(port->AsInt()), pipefd[0]));
+}
+
+WorkerProcess::~WorkerProcess() {
+  if (!reaped_) {
+    ::kill(pid_, SIGKILL);
+    ::waitpid(pid_, nullptr, 0);
+    reaped_ = true;
+  }
+  if (stdout_fd_ >= 0) ::close(stdout_fd_);
+}
+
+bool WorkerProcess::Alive() {
+  if (reaped_) return false;
+  const pid_t r = ::waitpid(pid_, nullptr, WNOHANG);
+  if (r == pid_) {
+    reaped_ = true;
+    return false;
+  }
+  // r == 0: still running. r < 0 (ECHILD, already reaped elsewhere):
+  // treat as dead.
+  if (r < 0) reaped_ = true;
+  return r == 0;
+}
+
+void WorkerProcess::Terminate() {
+  if (!reaped_) ::kill(pid_, SIGTERM);
+}
+
+void WorkerProcess::Kill() {
+  if (!reaped_) ::kill(pid_, SIGKILL);
+}
+
+bool WorkerProcess::WaitExit(int timeout_ms) {
+  if (reaped_) return true;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const pid_t r = ::waitpid(pid_, nullptr, WNOHANG);
+    if (r == pid_ || r < 0) {
+      reaped_ = true;
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    ::usleep(10 * 1000);
+  }
+}
+
+}  // namespace router
+}  // namespace pfql

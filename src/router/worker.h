@@ -1,0 +1,78 @@
+// One supervised pfqld child process: fork/exec with a stdout pipe, a
+// machine-parseable port handshake ({"port":N} is pfqld's first stdout
+// line under --port 0), and non-blocking liveness/reaping via waitpid.
+// Pure process mechanics — restart policy, probing, and failover live in
+// router.h.
+#ifndef PFQL_ROUTER_WORKER_H_
+#define PFQL_ROUTER_WORKER_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace pfql {
+namespace router {
+
+struct WorkerSpawnOptions {
+  /// Path to the pfqld binary.
+  std::string binary;
+  /// Extra argv entries after the implied "--port 0" (e.g. "--workers",
+  /// "2", "--faults", ...).
+  std::vector<std::string> extra_args;
+  /// Deadline for the {"port":N} handshake line; a child that prints
+  /// nothing in time is killed and Spawn fails.
+  int spawn_timeout_ms = 8000;
+};
+
+/// A spawned child. The destructor force-kills and reaps a still-running
+/// child — dropping the handle never leaks a process.
+class WorkerProcess {
+ public:
+  /// Forks and execs `binary --port 0 <extra_args>`, reads the bound port
+  /// off the child's stdout. On any failure the child (if forked) is
+  /// killed and reaped before the error returns.
+  static StatusOr<std::unique_ptr<WorkerProcess>> Spawn(
+      const WorkerSpawnOptions& options);
+
+  ~WorkerProcess();
+
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+
+  pid_t pid() const { return pid_; }
+  uint16_t port() const { return port_; }
+
+  /// Non-blocking liveness check (waitpid WNOHANG). Once the exit is
+  /// collected the child stays dead: Alive() is false forever after.
+  bool Alive();
+
+  /// SIGTERM — pfqld shuts down cleanly on it.
+  void Terminate();
+  /// SIGKILL — the crash / wedged-past-deadline path.
+  void Kill();
+
+  /// Waits up to timeout_ms for the child to exit (reaping it). True when
+  /// the exit was collected.
+  bool WaitExit(int timeout_ms);
+
+ private:
+  WorkerProcess(pid_t pid, uint16_t port, int stdout_fd)
+      : pid_(pid), port_(port), stdout_fd_(stdout_fd) {}
+
+  const pid_t pid_;
+  const uint16_t port_;
+  /// Kept open for the child's lifetime (pfqld only writes its two startup
+  /// lines, so the pipe never fills); closed on destruction.
+  int stdout_fd_ = -1;
+  bool reaped_ = false;
+};
+
+}  // namespace router
+}  // namespace pfql
+
+#endif  // PFQL_ROUTER_WORKER_H_

@@ -304,6 +304,22 @@ Json SampleScheduler::StatsJson() const {
   return out;
 }
 
+Json SampleScheduler::HealthJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json out = Json::Object();
+  out.Set("subscriptions", static_cast<int64_t>(active_subscriptions_));
+  size_t fused = 0;
+  size_t queued = 0;
+  for (const auto& t : tasks_) {
+    if (t->done) continue;
+    if (t->subs.size() >= 2) ++fused;
+    if (!t->running && !t->subs.empty()) ++queued;
+  }
+  out.Set("fused_groups", static_cast<int64_t>(fused));
+  out.Set("queued_quanta", static_cast<int64_t>(queued));
+  return out;
+}
+
 double SampleScheduler::PriorityLocked(
     const Task& task, std::chrono::steady_clock::time_point now) const {
   const double waited =

@@ -140,6 +140,13 @@ class SampleScheduler {
   ///  "policy":"adaptive",...}
   Json StatsJson() const;
 
+  /// The cheap load gauges folded into the `health` payload so router
+  /// probes can prefer lightly-loaded workers:
+  /// {"subscriptions":N,   // live subscriptions
+  ///  "fused_groups":N,    // live tasks shared by >= 2 subscribers
+  ///  "queued_quanta":N}   // runnable tasks waiting for a worker slot
+  Json HealthJson() const;
+
  private:
   struct Subscriber;
   struct Task;

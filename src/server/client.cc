@@ -187,16 +187,32 @@ StatusOr<Json> Client::NextPush(int64_t timeout_ms) {
 }
 
 StatusOr<Json> Client::CallWithRetry(const Json& request) {
-  // Only idempotent methods may be resent: a transport error leaves it
-  // unknown whether the server executed the request. (Every current method
-  // is idempotent; an unknown method gets one attempt and the server's
-  // error.)
+  // Only idempotent methods may be *resent after the request hit the
+  // wire*: a post-send transport error leaves it unknown whether the
+  // server executed the request, and replaying a non-idempotent method
+  // (subscribe) could duplicate server state — e.g. a retry after a short
+  // read would open a second live subscription the caller never learns
+  // about. Two failure classes stay retryable for every method, because
+  // neither can have executed the request: connect-phase failures (nothing
+  // was sent) and structured "Unavailable" error replies (the server
+  // answered that it rejected the request without side effects).
   bool idempotent = false;
+  std::string method_name;
   if (const Json* method = request.Find("method");
       method != nullptr && method->is_string()) {
-    StatusOr<RequestKind> kind = RequestKindFromString(method->AsString());
+    method_name = method->AsString();
+    StatusOr<RequestKind> kind = RequestKindFromString(method_name);
     idempotent = kind.ok() && IsIdempotent(*kind);
   }
+  // The refusal is explicit: the caller sees *why* the transient error was
+  // not retried instead of wondering why their retry policy was ignored.
+  auto refuse = [&method_name](const Status& status) {
+    return Status(status.code(),
+                  status.message() + " (not retried: method '" +
+                      method_name +
+                      "' is not idempotent, so a resend after a transport "
+                      "error could duplicate server state)");
+  };
 
   const RetryPolicy& policy = options_.retry;
   const int attempts = std::max(1, policy.max_attempts);
@@ -222,7 +238,8 @@ StatusOr<Json> Client::CallWithRetry(const Json& request) {
 
     Status conn = EnsureConnected();
     if (!conn.ok()) {
-      if (!idempotent || !IsRetryable(conn)) return conn;
+      // Nothing was sent, so reconnecting is safe for any method.
+      if (!IsRetryable(conn)) return conn;
       last_transport = std::move(conn);
       continue;
     }
@@ -231,18 +248,20 @@ StatusOr<Json> Client::CallWithRetry(const Json& request) {
       // The stream is in an unknown state after any transport failure
       // (half a response may be buffered); reconnect before retrying.
       Disconnect();
-      if (!idempotent || !IsRetryable(reply.status())) return reply.status();
+      if (!IsRetryable(reply.status())) return reply.status();
+      if (!idempotent) return refuse(reply.status());
       last_transport = reply.status();
       continue;
     }
 
     // A parsed reply: retry only server-declared-transient errors
     // ("Unavailable" = overload shedding / injected faults); everything
-    // else is the caller's answer.
+    // else is the caller's answer. An error reply is safe to retry for
+    // any method — the server declared it rejected the request.
     const Json* ok_field = reply->Find("ok");
     const bool server_ok =
         ok_field != nullptr && ok_field->is_bool() && ok_field->AsBool();
-    if (!server_ok && idempotent && attempt + 1 < attempts) {
+    if (!server_ok && attempt + 1 < attempts) {
       const Json* error = reply->Find("error");
       const Json* code = error != nullptr ? error->Find("code") : nullptr;
       if (code != nullptr && code->is_string() &&

@@ -73,14 +73,20 @@ class Client {
   /// Pushed lines already received and not yet consumed by NextPush.
   size_t BufferedPushes() const { return pushes_.size(); }
 
-  /// Call with retry, backoff, and reconnect per options().retry. Retries
-  /// only when the request's method is idempotent (IsIdempotent) and the
-  /// failure is retryable (IsRetryable): transport Unavailable — reset,
-  /// short read, refused reconnect, receive timeout — or a server error
-  /// response with code "Unavailable" (overload shedding). On exhaustion,
-  /// returns the last server error response if one was received, else the
-  /// last transport error; a retry schedule that would overrun
-  /// RetryPolicy::overall_deadline stops early with DeadlineExceeded.
+  /// Call with retry, backoff, and reconnect per options().retry. A
+  /// failure is retried when it is retryable (IsRetryable) *and* the retry
+  /// provably cannot duplicate server state: connect-phase failures and
+  /// server error replies with code "Unavailable" (the server declared it
+  /// rejected the request) retry for every method, while post-send
+  /// transport failures — reset, short read, receive timeout — retry only
+  /// for idempotent methods (IsIdempotent). A non-idempotent method
+  /// (subscribe) hitting a post-send transport error fails immediately
+  /// with the underlying error annotated "(not retried: ... not
+  /// idempotent ...)" so the caller can re-establish state explicitly. On
+  /// exhaustion, returns the last server error response if one was
+  /// received, else the last transport error; a retry schedule that would
+  /// overrun RetryPolicy::overall_deadline stops early with
+  /// DeadlineExceeded.
   StatusOr<Json> CallWithRetry(const Json& request);
 
   const ClientOptions& options() const { return options_; }

@@ -162,7 +162,11 @@ int RunDaemon(const DaemonOptions& options) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
   }
-  // Clients (and the integration tests) parse this line for the port.
+  // The first stdout line is machine-parseable: supervisors (pfqlr) and
+  // tests spawning `--port 0` workers read the bound port from it without
+  // racing on a fixed port. The human-readable line follows for operators
+  // (and the existing CI greps).
+  std::printf("{\"port\":%u}\n", static_cast<unsigned>(tcp.port()));
   std::printf("pfqld listening on 127.0.0.1:%u\n",
               static_cast<unsigned>(tcp.port()));
   std::fflush(stdout);

@@ -27,8 +27,9 @@ struct DaemonOptions {
   /// Seed for probability-triggered faults (--fault-seed); applied after
   /// `faults` is armed. 0 = keep the registry default.
   uint64_t fault_seed = 0;
-  /// Suppress the startup banner (the "listening on" line always prints —
-  /// clients parse it to discover an ephemeral port).
+  /// Suppress the startup banner. The {"port":N} line and the "listening
+  /// on" line always print — supervisors and clients parse them to
+  /// discover an ephemeral port.
   bool quiet = false;
   /// Emit one structured JSON log line per served request on stderr
   /// (--log-json; schema in docs/OBSERVABILITY.md).

@@ -1,0 +1,108 @@
+#include "server/line_writer.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "util/fault_injection.h"
+
+namespace pfql {
+namespace server {
+
+bool WriteAll(int fd, const char* data, size_t size) {
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n =
+        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+LineWriter::LineWriter(int fd, size_t max_lines, metrics::Counter* dropped,
+                       metrics::Counter* write_errors,
+                       const char* fault_point)
+    : fd_(fd),
+      max_lines_(max_lines),
+      dropped_(dropped),
+      write_errors_(write_errors),
+      fault_point_(fault_point),
+      thread_([this] { Loop(); }) {}
+
+LineWriter::~LineWriter() { Close(); }
+
+bool LineWriter::Enqueue(std::string line, bool droppable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || failed_) return false;
+  if (queue_.size() >= max_lines_) {
+    auto victim = std::find_if(queue_.begin(), queue_.end(),
+                               [](const Entry& e) { return e.droppable; });
+    if (victim != queue_.end()) {
+      queue_.erase(victim);
+      if (dropped_ != nullptr) dropped_->Increment();
+    } else if (droppable) {
+      // Queue full of must-deliver lines: the new update is the one to
+      // shed. The connection stays healthy; the next update supersedes.
+      if (dropped_ != nullptr) dropped_->Increment();
+      return true;
+    }
+  }
+  queue_.push_back(Entry{std::move(line), droppable});
+  cv_.notify_one();
+  return true;
+}
+
+bool LineWriter::failed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failed_;
+}
+
+void LineWriter::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void LineWriter::Loop() {
+  for (;;) {
+    Entry entry;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed, nothing left to flush
+      entry = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Chaos hook: a firing sends only half the framed line and then
+    // treats the write as failed, so the connection drops mid-line.
+    // Clients observe a short read — the case their retry path handles.
+    bool ok;
+    if (fault_point_ != nullptr && fault::InjectFault(fault_point_)) {
+      WriteAll(fd_, entry.line.data(), entry.line.size() / 2);
+      ok = false;
+    } else {
+      ok = WriteAll(fd_, entry.line.data(), entry.line.size());
+    }
+    if (!ok) {
+      if (write_errors_ != nullptr) write_errors_->Increment();
+      // Unblock the connection's read loop (and signal the peer) so the
+      // broken connection tears down instead of hanging in recv().
+      ::shutdown(fd_, SHUT_RDWR);
+      std::lock_guard<std::mutex> lock(mu_);
+      failed_ = true;
+      queue_.clear();
+      return;
+    }
+  }
+}
+
+}  // namespace server
+}  // namespace pfql

@@ -1,0 +1,81 @@
+// Per-connection NDJSON writer shared by the TCP server and the pfqlr
+// router: all bytes for one socket funnel through a single bounded queue
+// drained by a dedicated thread, so producers (request handlers, scheduler
+// workers, upstream forwarders) never block on a slow consumer and
+// concurrent producers never interleave bytes mid-line.
+//
+// Backpressure policy: when the queue is full the oldest *droppable* line
+// (an incremental subscription update) is discarded — the consumer only
+// loses a stale estimate that the next update supersedes. Responses,
+// completion, and error lines are never dropped; a queue full of
+// must-deliver lines sheds the incoming droppable line instead.
+#ifndef PFQL_SERVER_LINE_WRITER_H_
+#define PFQL_SERVER_LINE_WRITER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "util/metrics.h"
+
+namespace pfql {
+namespace server {
+
+/// Writes the whole buffer to `fd`, retrying on partial writes;
+/// MSG_NOSIGNAL keeps a disconnected peer from raising SIGPIPE.
+bool WriteAll(int fd, const char* data, size_t size);
+
+class LineWriter {
+ public:
+  /// `dropped` (optional) is incremented once per shed droppable line and
+  /// `write_errors` (optional) once per connection-fatal write failure.
+  /// `fault_point` (optional) names a fault-injection point checked per
+  /// dequeued line; a firing fault truncates the write mid-line and fails
+  /// the connection (the chaos hook behind short-read client testing).
+  LineWriter(int fd, size_t max_lines, metrics::Counter* dropped = nullptr,
+             metrics::Counter* write_errors = nullptr,
+             const char* fault_point = nullptr);
+  ~LineWriter();
+
+  LineWriter(const LineWriter&) = delete;
+  LineWriter& operator=(const LineWriter&) = delete;
+
+  /// Queues one framed line (caller appends '\n'). False once the write
+  /// path has failed or closed — the line is discarded then.
+  bool Enqueue(std::string line, bool droppable);
+
+  /// True after a write error tore the connection down.
+  bool failed() const;
+
+  /// Flushes the remaining queue best-effort and joins the thread.
+  /// Idempotent.
+  void Close();
+
+ private:
+  struct Entry {
+    std::string line;
+    bool droppable = false;
+  };
+
+  void Loop();
+
+  const int fd_;
+  const size_t max_lines_;
+  metrics::Counter* const dropped_;
+  metrics::Counter* const write_errors_;
+  const char* const fault_point_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> queue_;
+  bool closed_ = false;
+  bool failed_ = false;
+  std::thread thread_;
+};
+
+}  // namespace server
+}  // namespace pfql
+
+#endif  // PFQL_SERVER_LINE_WRITER_H_

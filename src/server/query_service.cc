@@ -645,6 +645,11 @@ Json QueryService::HealthJson() const {
   }
   out.Set("uptime_us", ElapsedUs(started_));
   out.Set("cache_entries", cache_.GetStats().entries);
+  // Streaming-plane load (live subscriptions, fused groups, queued
+  // quanta): the router's probe loop folds these into its per-worker load
+  // score, so a worker saturated with subscriptions stops attracting
+  // non-keyed control traffic even while its query pool is idle.
+  out.Set("scheduler", scheduler_.HealthJson());
   out.Set("faults", fault::FaultRegistry::Instance().SnapshotJson());
   return out;
 }

@@ -8,12 +8,11 @@
 
 #include <algorithm>
 #include <cerrno>
-#include <condition_variable>
 #include <cstring>
-#include <deque>
 #include <memory>
 #include <string>
 
+#include "server/line_writer.h"
 #include "util/fault_injection.h"
 #include "util/metrics.h"
 
@@ -49,124 +48,6 @@ metrics::Counter* DroppedUpdatesCounter() {
           "pfql_sched_updates_dropped_total");
   return c;
 }
-
-// Writes the whole buffer, retrying on partial writes; MSG_NOSIGNAL keeps a
-// disconnected peer from raising SIGPIPE.
-bool WriteAll(int fd, const char* data, size_t size) {
-  size_t written = 0;
-  while (written < size) {
-    const ssize_t n =
-        ::send(fd, data + written, size - written, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    written += static_cast<size_t>(n);
-  }
-  return true;
-}
-
-// Per-connection writer: responses and subscription pushes funnel through
-// one bounded queue drained by a dedicated thread, so scheduler workers
-// never block on a slow consumer and concurrent producers never interleave
-// bytes on the socket. Backpressure policy: when the queue is full the
-// oldest droppable (incremental update) line is discarded — the subscriber
-// only loses a stale estimate that the next update supersedes. Responses,
-// completion, and error lines are never dropped.
-class ConnWriter {
- public:
-  ConnWriter(int fd, size_t max_lines)
-      : fd_(fd), max_lines_(max_lines), thread_([this] { Loop(); }) {}
-  ~ConnWriter() { Close(); }
-
-  /// Queues one framed line (caller appends '\n'). False once the write
-  /// path has failed or closed — the line is discarded then.
-  bool Enqueue(std::string line, bool droppable) {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (closed_ || failed_) return false;
-    if (queue_.size() >= max_lines_) {
-      auto victim =
-          std::find_if(queue_.begin(), queue_.end(),
-                       [](const Entry& e) { return e.droppable; });
-      if (victim != queue_.end()) {
-        queue_.erase(victim);
-        DroppedUpdatesCounter()->Increment();
-      } else if (droppable) {
-        // Queue full of must-deliver lines: the new update is the one to
-        // shed. The connection stays healthy; the next update supersedes.
-        DroppedUpdatesCounter()->Increment();
-        return true;
-      }
-    }
-    queue_.push_back(Entry{std::move(line), droppable});
-    cv_.notify_one();
-    return true;
-  }
-
-  bool failed() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return failed_;
-  }
-
-  /// Flushes the remaining queue best-effort and joins the thread.
-  /// Idempotent.
-  void Close() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      closed_ = true;
-    }
-    cv_.notify_all();
-    if (thread_.joinable()) thread_.join();
-  }
-
- private:
-  struct Entry {
-    std::string line;
-    bool droppable = false;
-  };
-
-  void Loop() {
-    for (;;) {
-      Entry entry;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-        if (queue_.empty()) return;  // closed, nothing left to flush
-        entry = std::move(queue_.front());
-        queue_.pop_front();
-      }
-      // Chaos hook: a firing sends only half the framed line and then
-      // treats the write as failed, so the connection drops mid-line.
-      // Clients observe a short read — the case their retry path handles.
-      bool ok;
-      if (fault::InjectFault(fault::points::kTcpWrite)) {
-        WriteAll(fd_, entry.line.data(), entry.line.size() / 2);
-        ok = false;
-      } else {
-        ok = WriteAll(fd_, entry.line.data(), entry.line.size());
-      }
-      if (!ok) {
-        TcpWriteErrorsCounter()->Increment();
-        // Unblock the connection's read loop (and signal the peer) so the
-        // broken connection tears down instead of hanging in recv().
-        ::shutdown(fd_, SHUT_RDWR);
-        std::lock_guard<std::mutex> lock(mu_);
-        failed_ = true;
-        queue_.clear();
-        return;
-      }
-    }
-  }
-
-  const int fd_;
-  const size_t max_lines_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Entry> queue_;
-  bool closed_ = false;
-  bool failed_ = false;
-  std::thread thread_;
-};
 
 std::string FrameResponse(const Response& response) {
   std::string line = SerializeResponse(response);
@@ -304,11 +185,13 @@ void TcpServer::AcceptLoop() {
 
 void TcpServer::ServeConnection(int fd) {
   // All bytes leave through the writer, including plain responses — one
-  // producer queue keeps response and push lines whole and ordered. The
-  // sink holds the writer shared: the scheduler may retain sink copies
-  // briefly past connection teardown, and Enqueue after Close is a no-op.
-  auto writer =
-      std::make_shared<ConnWriter>(fd, options_.write_queue_lines);
+  // producer queue keeps response and push lines whole and ordered
+  // (line_writer.h documents the backpressure policy). The sink holds the
+  // writer shared: the scheduler may retain sink copies briefly past
+  // connection teardown, and Enqueue after Close is a no-op.
+  auto writer = std::make_shared<LineWriter>(
+      fd, options_.write_queue_lines, DroppedUpdatesCounter(),
+      TcpWriteErrorsCounter(), fault::points::kTcpWrite);
   sched::UpdateSink sink = [writer](const std::string& line,
                                     bool droppable) {
     writer->Enqueue(line + '\n', droppable);

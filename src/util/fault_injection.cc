@@ -28,6 +28,7 @@ const std::vector<std::string>& KnownPoints() {
       points::kCacheLookup,      points::kCacheEvict,
       points::kPoolSubmit,       points::kPoolRun,
       points::kTcpRead,          points::kTcpWrite,
+      points::kRouterProbe,      points::kRouterProxy,
   };
   return kPoints;
 }

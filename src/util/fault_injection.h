@@ -53,6 +53,11 @@ inline constexpr char kPoolSubmit[] = "util.thread_pool.submit";
 inline constexpr char kPoolRun[] = "util.thread_pool.run";
 inline constexpr char kTcpRead[] = "server.tcp.read";
 inline constexpr char kTcpWrite[] = "server.tcp.write";
+/// Router (pfqlr) paths: a firing probe fault makes a healthy worker look
+/// wedged (exercising drain + planned restart), a firing proxy fault drops
+/// a forwarded request so the client sees a retryable Unavailable.
+inline constexpr char kRouterProbe[] = "router.probe";
+inline constexpr char kRouterProxy[] = "router.proxy";
 }  // namespace points
 
 /// All canonical point names (for the chaos coverage assertion).

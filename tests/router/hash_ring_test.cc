@@ -1,0 +1,83 @@
+// Properties the router's shard assignment depends on: determinism,
+// owners drawn from the live set, rough balance across workers, and —
+// the failover invariant — minimal movement: removing one worker moves
+// only the slots it owned, and adding it back restores the original
+// table exactly.
+#include "router/hash_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pfql {
+namespace router {
+namespace {
+
+TEST(HashRingTest, HashKeyIsDeterministicAndSpreads) {
+  EXPECT_EQ(HashKey("exact|cur(2)"), HashKey("exact|cur(2)"));
+  EXPECT_NE(HashKey("exact|cur(2)"), HashKey("exact|cur(3)"));
+  // Distinct keys should cover a healthy share of the slot space.
+  std::set<size_t> slots;
+  for (int i = 0; i < 512; ++i) {
+    slots.insert(SlotOf(HashKey("key-" + std::to_string(i))));
+  }
+  EXPECT_GE(slots.size(), kNumSlots / 2);
+}
+
+TEST(HashRingTest, OwnersComeFromTheLiveSet) {
+  const std::vector<int> live = {1, 3, 5};
+  for (size_t s = 0; s < kNumSlots; ++s) {
+    const int owner = SlotOwner(s, live);
+    EXPECT_TRUE(owner == 1 || owner == 3 || owner == 5) << "slot " << s;
+  }
+  EXPECT_EQ(SlotOwner(0, {}), -1);
+}
+
+TEST(HashRingTest, TableIsBalancedAcrossFourWorkers) {
+  const std::vector<int> live = {0, 1, 2, 3};
+  const std::vector<int> table = BuildSlotTable(live);
+  ASSERT_EQ(table.size(), kNumSlots);
+  std::vector<int> owned(4, 0);
+  for (const int owner : table) {
+    ASSERT_GE(owner, 0);
+    ASSERT_LT(owner, 4);
+    ++owned[static_cast<size_t>(owner)];
+  }
+  // Expected 16 each; rendezvous over 64 slots stays within a loose band.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE(owned[static_cast<size_t>(i)], 6) << "worker " << i;
+    EXPECT_LE(owned[static_cast<size_t>(i)], 28) << "worker " << i;
+  }
+}
+
+TEST(HashRingTest, RemovingAWorkerMovesOnlyItsSlots) {
+  const std::vector<int> all = {0, 1, 2, 3};
+  const std::vector<int> survivors = {0, 1, 3};
+  const std::vector<int> before = BuildSlotTable(all);
+  const std::vector<int> after = BuildSlotTable(survivors);
+  for (size_t s = 0; s < kNumSlots; ++s) {
+    if (before[s] != 2) {
+      // A slot the dead worker never owned keeps its owner — and its
+      // warm result cache.
+      EXPECT_EQ(after[s], before[s]) << "slot " << s;
+    } else {
+      EXPECT_NE(after[s], 2) << "slot " << s;
+    }
+  }
+  // Rejoin restores the original assignment bit-for-bit.
+  EXPECT_EQ(BuildSlotTable(all), before);
+}
+
+TEST(HashRingTest, SlotOfMixesLowBits) {
+  // FNV-1a's low bits are its weakest; SlotOf must not map sequential
+  // keys onto a handful of slots.
+  std::set<size_t> slots;
+  for (uint64_t h = 1000; h < 1064; ++h) slots.insert(SlotOf(h));
+  EXPECT_GE(slots.size(), 32u);
+}
+
+}  // namespace
+}  // namespace router
+}  // namespace pfql

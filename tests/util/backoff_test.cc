@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <vector>
 
 namespace pfql {
@@ -77,6 +79,45 @@ TEST(BackoffTest, DegenerateCapClampsToBase) {
   for (int i = 0; i < 10; ++i) {
     EXPECT_EQ(backoff.NextDelay().count(), 20);
   }
+}
+
+// Property test over the decorrelated-jitter recurrence: across many
+// seeds, a long schedule (a) never leaves [base, cap] — the bound the
+// router's restart supervisor relies on for its backoff budget — and
+// (b) is non-constant, i.e. the jitter is actually jittering rather than
+// collapsing to a fixed exponential ladder.
+TEST(BackoffTest, PropertyTenThousandDelaysBoundedAndJittered) {
+  constexpr int kDelays = 10000;
+  constexpr int64_t kBase = 25;
+  constexpr int64_t kCap = 1500;
+  std::set<std::vector<int64_t>> schedules;
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    RetryPolicy policy;
+    policy.initial_backoff = std::chrono::milliseconds(kBase);
+    policy.max_backoff = std::chrono::milliseconds(kCap);
+    policy.jitter_seed = seed * 0x9e3779b97f4a7c15ULL;
+    Backoff backoff(policy);
+    std::vector<int64_t> delays;
+    delays.reserve(kDelays);
+    for (int i = 0; i < kDelays; ++i) {
+      const int64_t d = backoff.NextDelay().count();
+      ASSERT_GE(d, kBase) << "seed " << seed << " delay " << i;
+      ASSERT_LE(d, kCap) << "seed " << seed << " delay " << i;
+      delays.push_back(d);
+    }
+    // Non-constant within one seed: a schedule stuck on a single value
+    // means the jitter stream is broken (or the cap clamped everything).
+    const auto [min_it, max_it] =
+        std::minmax_element(delays.begin(), delays.end());
+    EXPECT_LT(*min_it, *max_it) << "seed " << seed;
+    // The capped steady state should actually visit the cap's
+    // neighborhood and the base's neighborhood over 10k draws.
+    EXPECT_LE(*min_it, kBase * 3);
+    EXPECT_GE(*max_it, kCap / 2);
+    schedules.insert(std::move(delays));
+  }
+  // Non-constant across seeds: every seed yields a distinct schedule.
+  EXPECT_EQ(schedules.size(), 8u);
 }
 
 TEST(BackoffTest, RetryableCodes) {

@@ -131,7 +131,7 @@ TEST_F(FaultInjectionTest, SnapshotReportsArmedStateAndCounters) {
 TEST_F(FaultInjectionTest, KnownPointsCatalogIsComplete) {
   // The catalog drives the chaos-coverage assertion; keep it in sync with
   // the named constants.
-  EXPECT_EQ(KnownPoints().size(), 10u);
+  EXPECT_EQ(KnownPoints().size(), 12u);
 }
 
 }  // namespace

@@ -7,8 +7,10 @@
 //         [--timeout-ms N] [--program NAME=FILE]... [--data NAME=FILE]...
 //         [--faults SPEC] [--fault-seed N] [--quiet] [--log-json]
 //
-//   --port N          listen port on 127.0.0.1 (0 = ephemeral; the actual
-//                     port is printed as "pfqld listening on 127.0.0.1:P")
+//   --port N          listen port on 127.0.0.1 (0 = ephemeral; the bound
+//                     port is printed as the first stdout line in
+//                     machine-parseable form, {"port":P}, followed by
+//                     "pfqld listening on 127.0.0.1:P")
 //   --workers N       query worker threads (default 4)
 //   --queue N         admission-queue capacity; requests beyond it are
 //                     rejected with an Unavailable "overloaded" error
