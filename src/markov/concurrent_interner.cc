@@ -1,0 +1,219 @@
+#include "markov/concurrent_interner.h"
+
+#include <cassert>
+#include <thread>
+
+#include "util/epoch.h"
+#include "util/metrics.h"
+
+namespace pfql {
+
+namespace {
+
+// Spin with progressively gentler backoff. Stripe critical sections are a
+// handful of probes, so contention windows are tiny; yielding keeps the
+// oversubscribed (threads > cores) case from burning a scheduling quantum.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(std::atomic_flag* flag) : flag_(flag) {
+    int spins = 0;
+    while (flag_->test_and_set(std::memory_order_acquire)) {
+      if (++spins > 64) {
+        std::this_thread::yield();
+      }
+    }
+  }
+  ~SpinLockGuard() { flag_->clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag* flag_;
+};
+
+}  // namespace
+
+ConcurrentInterner::ConcurrentInterner(size_t stripes)
+    : stripe_mask_(stripes - 1),
+      stripes_(new Stripe[stripes]),
+      chunks_(new std::atomic<Instance*>[kMaxChunks]) {
+  assert(stripes > 0 && (stripes & (stripes - 1)) == 0 &&
+         "stripe count must be a power of two");
+  for (size_t s = 0; s < stripes; ++s) {
+    stripes_[s].table.store(new Table(kInitialSlotsPerStripe),
+                            std::memory_order_relaxed);
+  }
+  for (size_t c = 0; c < kMaxChunks; ++c) {
+    chunks_[c].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+ConcurrentInterner::~ConcurrentInterner() {
+  for (size_t s = 0; s <= stripe_mask_; ++s) {
+    Table* table = stripes_[s].table.load(std::memory_order_relaxed);
+    if (table != nullptr) {
+      delete[] table->slots;
+      delete table;
+    }
+  }
+  for (size_t c = 0; c < kMaxChunks; ++c) {
+    delete[] chunks_[c].load(std::memory_order_relaxed);
+  }
+  auto& registry = metrics::MetricRegistry::Instance();
+  const uint64_t inserts = inserts_.load(std::memory_order_relaxed);
+  const uint64_t hits = dedup_hits_.load(std::memory_order_relaxed);
+  const uint64_t grows = grows_.load(std::memory_order_relaxed);
+  if (inserts > 0) {
+    registry.GetCounter("pfql_interner_inserts_total")->Increment(inserts);
+  }
+  if (hits > 0) {
+    registry.GetCounter("pfql_interner_dedup_hits_total")->Increment(hits);
+  }
+  if (grows > 0) {
+    registry.GetCounter("pfql_interner_grows_total")->Increment(grows);
+  }
+}
+
+size_t ConcurrentInterner::Probe(const Table& table, size_t hash,
+                                 const Instance& instance) const {
+  size_t i = hash & table.mask;
+  for (;;) {
+    const Slot& slot = table.slots[i];
+    const size_t id_plus_one = slot.id_plus_one.load(std::memory_order_acquire);
+    if (id_plus_one == 0) return kNotFound;  // empty slot ends the probe
+    if (slot.hash.load(std::memory_order_relaxed) == hash &&
+        At(id_plus_one - 1) == instance) {
+      return id_plus_one - 1;
+    }
+    i = (i + 1) & table.mask;
+  }
+}
+
+size_t ConcurrentInterner::Find(const Instance& instance) const {
+  const size_t hash = instance.Hash();
+  epoch::Guard guard;
+  const Stripe& stripe = StripeFor(hash);
+  const Table* table = stripe.table.load(std::memory_order_acquire);
+  return Probe(*table, hash, instance);
+}
+
+std::pair<size_t, bool> ConcurrentInterner::Intern(Instance instance) {
+  const size_t hash = instance.Hash();
+  epoch::Guard guard;
+  Stripe& stripe = StripeFor(hash);
+
+  // Optimistic lock-free pre-check: the common case in a BFS wave is a
+  // duplicate successor, which never needs the stripe lock at all.
+  {
+    const Table* table = stripe.table.load(std::memory_order_acquire);
+    const size_t found = Probe(*table, hash, instance);
+    if (found != kNotFound) {
+      dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+      return {found, false};
+    }
+  }
+
+  SpinLockGuard lock(&stripe.lock);
+  // Re-probe under the lock: a racing Intern of the same instance may have
+  // won. Same-instance races always land on this stripe (hash-partitioned),
+  // so the lock fully serializes them.
+  Table* table = stripe.table.load(std::memory_order_relaxed);
+  const size_t found = Probe(*table, hash, instance);
+  if (found != kNotFound) {
+    dedup_hits_.fetch_add(1, std::memory_order_relaxed);
+    return {found, false};
+  }
+
+  // Keep the stripe under 3/4 load so probe chains stay short.
+  if ((stripe.size + 1) * 4 > (table->mask + 1) * 3) {
+    Grow(&stripe);
+    table = stripe.table.load(std::memory_order_relaxed);
+  }
+
+  const size_t id = count_.fetch_add(1, std::memory_order_acq_rel);
+  Store(id, std::move(instance));
+
+  size_t i = hash & table->mask;
+  while (table->slots[i].id_plus_one.load(std::memory_order_relaxed) != 0) {
+    i = (i + 1) & table->mask;
+  }
+  table->slots[i].hash.store(hash, std::memory_order_relaxed);
+  // Release-publish after the instance is stored: any reader that acquires
+  // this id sees the fully constructed instance through At().
+  table->slots[i].id_plus_one.store(id + 1, std::memory_order_release);
+  ++stripe.size;
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  return {id, true};
+}
+
+void ConcurrentInterner::Grow(Stripe* stripe) {
+  Table* old_table = stripe->table.load(std::memory_order_relaxed);
+  Table* new_table = new Table((old_table->mask + 1) * 2);
+  // Only the lock holder writes slots, so plain-order reads of the old
+  // table are stable here; published ids are re-inserted by stored hash.
+  for (size_t i = 0; i <= old_table->mask; ++i) {
+    const size_t id_plus_one =
+        old_table->slots[i].id_plus_one.load(std::memory_order_relaxed);
+    if (id_plus_one == 0) continue;
+    const size_t hash = old_table->slots[i].hash.load(std::memory_order_relaxed);
+    size_t j = hash & new_table->mask;
+    while (new_table->slots[j].id_plus_one.load(std::memory_order_relaxed) !=
+           0) {
+      j = (j + 1) & new_table->mask;
+    }
+    new_table->slots[j].hash.store(hash, std::memory_order_relaxed);
+    new_table->slots[j].id_plus_one.store(id_plus_one,
+                                          std::memory_order_release);
+  }
+  stripe->table.store(new_table, std::memory_order_release);
+  // Readers may still be probing the old table; the epoch collector frees
+  // it once every possible reader has unpinned.
+  epoch::RetireArray(old_table->slots);
+  epoch::RetireObject(old_table);
+  grows_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ConcurrentInterner::Store(size_t id, Instance&& instance) {
+  const size_t chunk = id >> kChunkBits;
+  assert(chunk < kMaxChunks && "interner capacity exceeded");
+  Instance* base = chunks_[chunk].load(std::memory_order_acquire);
+  if (base == nullptr) {
+    Instance* fresh = new Instance[kChunkSize];
+    if (chunks_[chunk].compare_exchange_strong(base, fresh,
+                                               std::memory_order_acq_rel)) {
+      base = fresh;
+    } else {
+      delete[] fresh;  // another thread installed the chunk first
+    }
+  }
+  base[id & (kChunkSize - 1)] = std::move(instance);
+}
+
+const Instance& ConcurrentInterner::At(size_t id) const {
+  Instance* base = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+  return base[id & (kChunkSize - 1)];
+}
+
+std::vector<Instance> ConcurrentInterner::TakeAll() {
+  const size_t n = count_.load(std::memory_order_acquire);
+  std::vector<Instance> out;
+  out.reserve(n);
+  for (size_t id = 0; id < n; ++id) {
+    Instance* base = chunks_[id >> kChunkBits].load(std::memory_order_relaxed);
+    out.push_back(std::move(base[id & (kChunkSize - 1)]));
+  }
+  for (size_t s = 0; s <= stripe_mask_; ++s) {
+    Table* table = stripes_[s].table.load(std::memory_order_relaxed);
+    delete[] table->slots;
+    delete table;
+    stripes_[s].table.store(new Table(kInitialSlotsPerStripe),
+                            std::memory_order_relaxed);
+    stripes_[s].size = 0;
+  }
+  for (size_t c = 0; c < kMaxChunks; ++c) {
+    delete[] chunks_[c].load(std::memory_order_relaxed);
+    chunks_[c].store(nullptr, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_release);
+  return out;
+}
+
+}  // namespace pfql

@@ -6,6 +6,8 @@
 #include <thread>
 #include <utility>
 
+#include "markov/concurrent_interner.h"
+#include "util/epoch.h"
 #include "util/fault_injection.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -14,42 +16,56 @@ namespace pfql {
 
 namespace {
 
-// Expands every state in [wave_begin, wave_end) of `states`, writing the
-// successor distribution of states[wave_begin + k] into (*results)[k].
-// With options.threads > 1 the frontier indices are claimed from an atomic
-// counter by worker threads; each worker only reads the shared query and
-// states, and writes a slot no other worker touches. Workers also pre-warm
-// the structural hash of every successor instance so the (sequential) merge
-// pass that follows does no hashing work.
-void ExpandWave(const Interpretation& q, const std::vector<Instance>& states,
-                size_t wave_begin, size_t wave_end,
-                const StateSpaceOptions& options,
-                std::vector<std::optional<StatusOr<Distribution<Instance>>>>*
-                    results) {
+// One expanded frontier state: the successor distribution with every
+// successor instance already interned (moved into the shared concurrent
+// interner) and replaced by its provisional id. Workers do the instance
+// hashing, equality probing, and deduplication in parallel; the sequential
+// merge pass that follows only shuffles integers.
+struct ExpandedState {
+  Status status = Status::OK();
+  std::vector<std::pair<size_t, BigRational>> successors;  // (prov id, p)
+};
+
+// Expands every state in [wave_begin, wave_end) of the canonical frontier,
+// writing the result for canonical state (wave_begin + k) into
+// (*results)[k]. With options.threads > 1 the frontier indices are claimed
+// from an atomic counter by worker threads; each worker writes a slot no
+// other worker touches, and interns successors through `interner`, whose
+// striped table is the only shared write target (per-stripe spinlocks, no
+// global lock — see concurrent_interner.h).
+void ExpandWave(const Interpretation& q, ConcurrentInterner* interner,
+                const std::vector<size_t>& canon_to_prov, size_t wave_begin,
+                size_t wave_end, const StateSpaceOptions& options,
+                std::vector<ExpandedState>* results) {
   const size_t wave_size = wave_end - wave_begin;
   auto expand_one = [&](size_t k) {
+    ExpandedState& out = (*results)[k];
     // Poll before the (potentially slow) kernel application so an expired
     // deadline short-circuits the rest of the wave.
     if (options.cancel != nullptr) {
       Status cancelled = options.cancel->Check();
       if (!cancelled.ok()) {
-        (*results)[k].emplace(std::move(cancelled));
+        out.status = std::move(cancelled);
         return;
       }
     }
     if (fault::InjectFault(fault::points::kStateSpaceExpand)) {
-      (*results)[k].emplace(
-          fault::InjectedError(fault::points::kStateSpaceExpand));
+      out.status = fault::InjectedError(fault::points::kStateSpaceExpand);
       return;
     }
-    StatusOr<Distribution<Instance>> successors =
-        q.ApplyExact(states[wave_begin + k], options.eval);
-    if (successors.ok()) {
-      for (const auto& outcome : successors.value().outcomes()) {
-        outcome.value.Hash();  // pre-warm the cached hash for the merge
-      }
+    StatusOr<Distribution<Instance>> successors = q.ApplyExact(
+        interner->At(canon_to_prov[wave_begin + k]), options.eval);
+    if (!successors.ok()) {
+      out.status = successors.status();
+      return;
     }
-    (*results)[k].emplace(std::move(successors));
+    out.successors.reserve(successors.value().outcomes().size());
+    for (auto& outcome : successors.value().MutableOutcomes()) {
+      // Interning here (worker thread) does the hash + equality work in
+      // parallel; duplicates across workers resolve inside one stripe.
+      const size_t prov = interner->Intern(std::move(outcome.value)).first;
+      out.successors.emplace_back(prov, std::move(outcome.probability));
+    }
   };
 
   const size_t threads =
@@ -104,59 +120,88 @@ StatusOr<StateSpace> BuildStateSpace(const Interpretation& q,
       metrics::MetricRegistry::Instance().GetCounter(
           "pfql_state_space_waves_total");
 
-  StateSpace space;
-  space.index.Intern(initial, &space.states);
+  // Wave BFS over provisional ids. Workers intern successors concurrently,
+  // so provisional ids are racy under threads > 1; the merge pass below
+  // assigns canonical ids in frontier order, which makes state numbering,
+  // the edge list, and the first reported error identical to a sequential
+  // FIFO exploration regardless of options.threads.
+  ConcurrentInterner interner;
+  std::vector<size_t> prov_to_canon;  // SIZE_MAX = not yet canonicalized
+  std::vector<size_t> canon_to_prov;
 
-  // Wave BFS: expand the current frontier segment of `states` (possibly in
-  // parallel), then merge the per-state successor distributions in frontier
-  // order. Interning in merge order makes state numbering, the edge list,
-  // and the first reported error identical to a sequential FIFO exploration
-  // regardless of options.threads. MarkovChain needs its size up front, so
-  // transitions are collected into an edge list first.
+  const size_t initial_prov = interner.Intern(initial).first;
+  prov_to_canon.assign(interner.size(), SIZE_MAX);
+  prov_to_canon[initial_prov] = 0;
+  canon_to_prov.push_back(initial_prov);
+
+  // MarkovChain needs its size up front, so transitions are collected into
+  // an edge list first.
   struct Edge {
     size_t from, to;
     BigRational p;
   };
   std::vector<Edge> edges;
 
-  std::vector<std::optional<StatusOr<Distribution<Instance>>>> results;
+  std::vector<ExpandedState> results;
   size_t wave_begin = 0;
   size_t peak_wave = 0;
-  while (wave_begin < space.states.size()) {
-    const size_t wave_end = space.states.size();
+  while (wave_begin < canon_to_prov.size()) {
+    const size_t wave_end = canon_to_prov.size();
     peak_wave = std::max(peak_wave, wave_end - wave_begin);
-    results.assign(wave_end - wave_begin, std::nullopt);
+    results.assign(wave_end - wave_begin, ExpandedState{});
     waves_counter->Increment();
     trace::Span wave_span("state_space.wave");
-    ExpandWave(q, space.states, wave_begin, wave_end, options, &results);
+    ExpandWave(q, &interner, canon_to_prov, wave_begin, wave_end, options,
+               &results);
 
+    // Merge in frontier order: remap provisional ids to dense canonical
+    // ids in first-seen order. Pure integer work — all hashing happened in
+    // the workers.
+    prov_to_canon.resize(interner.size(), SIZE_MAX);
     for (size_t k = 0; k < results.size(); ++k) {
       if (options.cancel != nullptr) {
         PFQL_RETURN_NOT_OK(options.cancel->Check());
       }
-      StatusOr<Distribution<Instance>>& successors = *results[k];
-      PFQL_RETURN_NOT_OK(successors.status());
+      PFQL_RETURN_NOT_OK(results[k].status);
       const size_t from = wave_begin + k;
-      for (auto& outcome : successors.value().MutableOutcomes()) {
-        auto [to, inserted] =
-            space.index.Intern(std::move(outcome.value), &space.states);
-        if (inserted && space.states.size() > options.max_states) {
-          // The interner count and peak wave width guide budget tuning:
-          // a wide peak wave means the next wave multiplies the state
-          // count, so a small max_states bump will not help.
-          return Status::ResourceExhausted(
-              "state space exceeds max_states = " +
-              std::to_string(options.max_states) + " (explored " +
-              std::to_string(space.states.size()) + " states; interner holds " +
-              std::to_string(space.index.size()) +
-              " live instances; peak wave width " +
-              std::to_string(peak_wave) +
-              "; raise max_states or use the sampling path)");
+      for (auto& [prov, p] : results[k].successors) {
+        size_t to = prov_to_canon[prov];
+        if (to == SIZE_MAX) {
+          to = canon_to_prov.size();
+          if (to + 1 > options.max_states) {
+            // The interner count and peak wave width guide budget tuning:
+            // a wide peak wave means the next wave multiplies the state
+            // count, so a small max_states bump will not help.
+            return Status::ResourceExhausted(
+                "state space exceeds max_states = " +
+                std::to_string(options.max_states) + " (explored " +
+                std::to_string(to + 1) + " states; interner holds " +
+                std::to_string(interner.size()) +
+                " live instances; peak wave width " +
+                std::to_string(peak_wave) +
+                "; raise max_states or use the sampling path)");
+          }
+          prov_to_canon[prov] = to;
+          canon_to_prov.push_back(prov);
         }
-        edges.push_back({from, to, std::move(outcome.probability)});
+        edges.push_back({from, to, std::move(p)});
       }
     }
     wave_begin = wave_end;
+  }
+
+  // Quiescent point: workers are joined, so the deferred table frees from
+  // any stripe grows can drain now instead of riding along in limbo.
+  epoch::Collector::Instance().Collect();
+
+  // Materialize the canonical ordering into the StateSpace's public shape:
+  // `states` in canonical order, indexed by the sequential interner (hashes
+  // are already cached on every instance, so this is one probe per state).
+  StateSpace space;
+  std::vector<Instance> interned = interner.TakeAll();
+  space.states.reserve(canon_to_prov.size());
+  for (const size_t prov : canon_to_prov) {
+    space.index.Intern(std::move(interned[prov]), &space.states);
   }
 
   states_counter->Increment(space.states.size());

@@ -36,8 +36,10 @@ struct StateSpace {
 /// the worst case (that is Prop 5.4's EXPTIME bound), so callers cap them.
 struct StateSpaceOptions {
   size_t max_states = 1 << 14;
-  /// Worker threads for expanding a BFS wave. Results are merged in frontier
-  /// order, so states, edges, and errors are identical for any value.
+  /// Worker threads for expanding a BFS wave. Workers intern successor
+  /// instances concurrently (markov/concurrent_interner.h) and the merge
+  /// pass renumbers them in frontier order, so states, edges, and errors
+  /// are identical for any value.
   size_t threads = 1;
   /// Optional cooperative cancel/deadline token, polled once per expanded
   /// state during the merge pass. Non-owning; may be null.

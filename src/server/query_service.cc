@@ -58,8 +58,7 @@ Status QueryService::RegisterProgram(const std::string& name,
   entry.lint_warnings = sink.Count(analysis::Severity::kWarning);
   entry.program =
       std::make_shared<const datalog::Program>(*std::move(program));
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  programs_[name] = std::move(entry);
+  UpdateRegistries([&](Registries* r) { r->programs[name] = std::move(entry); });
   return Status::OK();
 }
 
@@ -69,33 +68,33 @@ Status QueryService::RegisterInstance(const std::string& name,
   InstanceEntry entry;
   entry.hash = instance.Hash();  // pre-warm the structural hash
   entry.instance = std::make_shared<const Instance>(std::move(instance));
-  std::lock_guard<std::mutex> lock(registry_mu_);
-  instances_[name] = std::move(entry);
+  UpdateRegistries(
+      [&](Registries* r) { r->instances[name] = std::move(entry); });
   return Status::OK();
 }
 
 std::vector<std::string> QueryService::ProgramNames() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto snapshot = RegistrySnapshot();
   std::vector<std::string> names;
-  names.reserve(programs_.size());
-  for (const auto& [name, _] : programs_) names.push_back(name);
+  names.reserve(snapshot->programs.size());
+  for (const auto& [name, _] : snapshot->programs) names.push_back(name);
   return names;
 }
 
 std::vector<std::string> QueryService::InstanceNames() const {
-  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto snapshot = RegistrySnapshot();
   std::vector<std::string> names;
-  names.reserve(instances_.size());
-  for (const auto& [name, _] : instances_) names.push_back(name);
+  names.reserve(snapshot->instances.size());
+  for (const auto& [name, _] : snapshot->instances) names.push_back(name);
   return names;
 }
 
 StatusOr<QueryService::ProgramEntry> QueryService::ResolveProgram(
     const Request& request) const {
   if (!request.program.empty()) {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    auto it = programs_.find(request.program);
-    if (it == programs_.end()) {
+    const auto snapshot = RegistrySnapshot();
+    auto it = snapshot->programs.find(request.program);
+    if (it == snapshot->programs.end()) {
       return Status::NotFound("no registered program named '" +
                               request.program + "'");
     }
@@ -113,9 +112,9 @@ StatusOr<QueryService::ProgramEntry> QueryService::ResolveProgram(
 StatusOr<QueryService::InstanceEntry> QueryService::ResolveInstance(
     const Request& request) const {
   if (!request.data.empty()) {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    auto it = instances_.find(request.data);
-    if (it == instances_.end()) {
+    const auto snapshot = RegistrySnapshot();
+    auto it = snapshot->instances.find(request.data);
+    if (it == snapshot->instances.end()) {
       return Status::NotFound("no registered instance named '" +
                               request.data + "'");
     }
@@ -489,8 +488,8 @@ Response QueryService::HandleControl(const Request& request) {
       Json payload = Json::Object();
       Json programs = Json::Array();
       {
-        std::lock_guard<std::mutex> lock(registry_mu_);
-        for (const auto& [name, entry] : programs_) {
+        const auto snapshot = RegistrySnapshot();
+        for (const auto& [name, entry] : snapshot->programs) {
           Json item = Json::Object();
           item.Set("name", name);
           item.Set("hash", std::to_string(entry.hash));
@@ -501,8 +500,8 @@ Response QueryService::HandleControl(const Request& request) {
       payload.Set("programs", std::move(programs));
       Json instances = Json::Array();
       {
-        std::lock_guard<std::mutex> lock(registry_mu_);
-        for (const auto& [name, entry] : instances_) {
+        const auto snapshot = RegistrySnapshot();
+        for (const auto& [name, entry] : snapshot->instances) {
           Json item = Json::Object();
           item.Set("name", name);
           item.Set("hash", std::to_string(entry.hash));
@@ -524,8 +523,8 @@ Response QueryService::HandleControl(const Request& request) {
       Json payload = Json::Object();
       payload.Set("name", request.name);
       {
-        std::lock_guard<std::mutex> lock(registry_mu_);
-        const ProgramEntry& entry = programs_.at(request.name);
+        const auto snapshot = RegistrySnapshot();
+        const ProgramEntry& entry = snapshot->programs.at(request.name);
         payload.Set("hash", std::to_string(entry.hash));
         payload.Set("lint_warnings", entry.lint_warnings);
       }
@@ -549,8 +548,9 @@ Response QueryService::HandleControl(const Request& request) {
       Json payload = Json::Object();
       payload.Set("name", request.name);
       {
-        std::lock_guard<std::mutex> lock(registry_mu_);
-        payload.Set("hash", std::to_string(instances_.at(request.name).hash));
+        const auto snapshot = RegistrySnapshot();
+        payload.Set("hash",
+                    std::to_string(snapshot->instances.at(request.name).hash));
       }
       payload.Set("relations", relations);
       payload.Set("tuples", tuples);
@@ -614,9 +614,9 @@ Json QueryService::StatsJson() const {
   out.Set("scheduler", scheduler_.StatsJson());
 
   {
-    std::lock_guard<std::mutex> lock(registry_mu_);
-    out.Set("programs", programs_.size());
-    out.Set("instances", instances_.size());
+    const auto snapshot = RegistrySnapshot();
+    out.Set("programs", snapshot->programs.size());
+    out.Set("instances", snapshot->instances.size());
   }
   return out;
 }

@@ -9,6 +9,7 @@
 #ifndef PFQL_SERVER_QUERY_SERVICE_H_
 #define PFQL_SERVER_QUERY_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -122,6 +123,15 @@ class QueryService {
     std::shared_ptr<const Instance> instance;
     uint64_t hash = 0;
   };
+  /// Immutable registry snapshot, published via shared_ptr swap (RCU):
+  /// readers (resolve, list, stats) grab the current snapshot with one
+  /// atomic load and never block; register_* copies the snapshot under a
+  /// writer-only mutex, mutates the copy, and swaps it in. In-flight
+  /// requests keep whatever snapshot they resolved against.
+  struct Registries {
+    std::map<std::string, ProgramEntry> programs;
+    std::map<std::string, InstanceEntry> instances;
+  };
   /// Monotonic per-kind counters (latencies in microseconds).
   struct KindCounters {
     uint64_t count = 0;
@@ -149,9 +159,26 @@ class QueryService {
   const std::chrono::steady_clock::time_point started_ =
       std::chrono::steady_clock::now();
 
-  mutable std::mutex registry_mu_;
-  std::map<std::string, ProgramEntry> programs_;
-  std::map<std::string, InstanceEntry> instances_;
+  /// Wait-free registry read; the returned snapshot stays valid (and
+  /// frozen) for as long as the caller holds it.
+  std::shared_ptr<const Registries> RegistrySnapshot() const {
+    return registries_.load(std::memory_order_acquire);
+  }
+  /// Copy-on-write registry update: `mutate` runs on a private copy of
+  /// the current snapshot, which is then atomically published.
+  template <typename Fn>
+  void UpdateRegistries(Fn&& mutate) {
+    std::lock_guard<std::mutex> lock(registry_write_mu_);
+    auto next = std::make_shared<Registries>(
+        *registries_.load(std::memory_order_relaxed));
+    mutate(next.get());
+    registries_.store(std::move(next), std::memory_order_release);
+  }
+
+  /// Serializes writers only — readers never touch it.
+  std::mutex registry_write_mu_;
+  std::atomic<std::shared_ptr<const Registries>> registries_{
+      std::make_shared<const Registries>()};
 
   ResultCache cache_;
 

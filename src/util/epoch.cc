@@ -1,0 +1,123 @@
+#include "util/epoch.h"
+
+namespace pfql {
+namespace epoch {
+
+Collector& Collector::Instance() {
+  // Leaked singleton: thread-exit handles and static-destruction-order
+  // races never observe a dead collector.
+  static Collector* const collector = new Collector();
+  return *collector;
+}
+
+Collector::ThreadRecord* Collector::AcquireRecord() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& record : records_) {
+    if (!record->in_use.load(std::memory_order_relaxed)) {
+      record->in_use.store(true, std::memory_order_relaxed);
+      record->nest = 0;
+      return record.get();
+    }
+  }
+  records_.push_back(std::make_unique<ThreadRecord>());
+  records_.back()->in_use.store(true, std::memory_order_relaxed);
+  return records_.back().get();
+}
+
+void Collector::ReleaseRecord(ThreadRecord* record) {
+  record->epoch.store(kIdle, std::memory_order_release);
+  record->in_use.store(false, std::memory_order_release);
+}
+
+Collector::ThreadRecord* Collector::LocalRecord() {
+  // Thread-exit hook: hands the record back so a churning thread population
+  // (TCP connection threads, scheduler workers) reuses a bounded record
+  // set. A function-local class has access to Collector's private members.
+  struct RecordHandle {
+    ThreadRecord* record = nullptr;
+    ~RecordHandle() {
+      if (record != nullptr) Collector::Instance().ReleaseRecord(record);
+    }
+  };
+  thread_local RecordHandle handle;
+  if (handle.record == nullptr) {
+    handle.record = Instance().AcquireRecord();
+  }
+  return handle.record;
+}
+
+void Collector::Retire(void* p, void (*deleter)(void*)) {
+  size_t freed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // The tag is read under mu_ — the same mutex that serializes advances —
+    // so a tag is never stale relative to a concurrent advance, which is
+    // what the +2 reclamation bound relies on.
+    limbo_.push_back({global_.load(std::memory_order_seq_cst), p, deleter});
+    if (++retired_since_collect_ >= kCollectEvery) {
+      retired_since_collect_ = 0;
+      freed = CollectLocked();
+    }
+  }
+  (void)freed;
+}
+
+size_t Collector::Collect() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CollectLocked();
+}
+
+size_t Collector::CollectLocked() {
+  const uint64_t current = global_.load(std::memory_order_seq_cst);
+  // Advance predicate: every in-use record is idle or pinned at `current`.
+  // The seq_cst read of each record either observes the pin (blocking the
+  // advance) or observes the reader's release store of kIdle / a newer pin,
+  // which synchronizes-with it — establishing that everything the reader
+  // did inside its guard happens-before the frees below.
+  for (const auto& record : records_) {
+    if (!record->in_use.load(std::memory_order_seq_cst)) continue;
+    const uint64_t e = record->epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e != current) return 0;
+  }
+  global_.store(current + 1, std::memory_order_seq_cst);
+  // Free garbage two epochs old: any reader that could have seen it has
+  // been observed past its pin by the advances in between.
+  size_t freed = 0;
+  while (!limbo_.empty() && limbo_.front().epoch + 2 <= current + 1) {
+    Garbage g = limbo_.front();
+    limbo_.pop_front();
+    g.deleter(g.ptr);
+    ++freed;
+  }
+  return freed;
+}
+
+size_t Collector::PendingCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return limbo_.size();
+}
+
+Guard::Guard() : record_(Collector::LocalRecord()) {
+  if (record_->nest++ > 0) return;
+  Collector& collector = Collector::Instance();
+  // Pin: publish the epoch we observed, then verify it did not move. The
+  // seq_cst store/load pair guarantees that once the loop exits, either the
+  // pin is visible to any in-flight advance, or we re-pinned at the newer
+  // epoch.
+  uint64_t e = collector.global_.load(std::memory_order_seq_cst);
+  for (;;) {
+    record_->epoch.store(e, std::memory_order_seq_cst);
+    const uint64_t now = collector.global_.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+  }
+}
+
+Guard::~Guard() {
+  if (--record_->nest == 0) {
+    record_->epoch.store(Collector::kIdle, std::memory_order_release);
+  }
+}
+
+}  // namespace epoch
+}  // namespace pfql

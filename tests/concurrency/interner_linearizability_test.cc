@@ -1,0 +1,164 @@
+// Concurrency proof obligations for ConcurrentInterner: ≥10k-operation
+// histories of Intern/Find from 8 threads, recorded and verified against a
+// sequential model by the linearizability checker, plus the global id
+// invariants that per-key linearizability cannot see (density, uniqueness,
+// id↔instance agreement). Stripes are deliberately scarce so every
+// operation contends inside a couple of stripes and the grow path runs
+// many times under fire. Run under TSan in the concurrency-stress CI job.
+#include "markov/concurrent_interner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "linearizability.h"
+#include "schedule_permuter.h"
+#include "relational/instance.h"
+#include "util/epoch.h"
+
+namespace pfql {
+namespace {
+
+using testing::Event;
+using testing::History;
+using testing::IsLinearizable;
+using testing::PartitionBy;
+using testing::SchedulePermuter;
+using testing::ScheduleSeed;
+
+Instance KeyInstance(uint64_t k) {
+  Instance db;
+  Relation r(Schema({"k"}));
+  r.Insert(Tuple{Value(static_cast<int64_t>(k))});
+  db.Set("key", std::move(r));
+  return db;
+}
+
+struct InternOp {
+  enum Kind { kIntern, kFind } kind = kIntern;
+  uint64_t key = 0;
+  size_t id = ConcurrentInterner::kNotFound;  // kNotFound = Find miss
+  bool inserted = false;                      // Intern only
+};
+
+// Sequential model per key: has this key ever been interned? The first
+// linearized Intern must report inserted=true; every later Intern must
+// dedup; a Find must miss before the first Intern and hit after (the
+// interner never forgets). Ids are checked globally, not here.
+std::optional<bool> ApplyInternOp(const bool& interned, const InternOp& op) {
+  if (op.kind == InternOp::kIntern) {
+    if (!interned) return op.inserted ? std::optional<bool>(true)
+                                      : std::nullopt;
+    return op.inserted ? std::nullopt : std::optional<bool>(true);
+  }
+  const bool found = op.id != ConcurrentInterner::kNotFound;
+  if (found != interned) return std::nullopt;
+  return interned;
+}
+
+TEST(ConcurrentInternerConcurrencyTest, TenThousandOpHistoryLinearizes) {
+  const uint64_t seed = ScheduleSeed(20260808);
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 96;
+  constexpr size_t kOpsPerRound = 16;
+  constexpr uint64_t kKeys = 48;
+
+  // 2 stripes: every key contends inside one of two spinlock domains, and
+  // each stripe doubles several times while lock-free Finds race it.
+  ConcurrentInterner interner(/*stripes=*/2);
+  History<InternOp> history(kThreads);
+
+  SchedulePermuter permuter(seed, kThreads);
+  permuter.Run(kRounds, [&](size_t thread, Rng& rng) {
+    for (size_t i = 0; i < kOpsPerRound; ++i) {
+      SchedulePermuter::Jitter(&rng);
+      InternOp op;
+      op.key = rng.NextIndex(kKeys);
+      if (rng.NextBernoulli(0.5)) {
+        op.kind = InternOp::kIntern;
+        const uint64_t invoke = history.Invoke();
+        auto [id, inserted] = interner.Intern(KeyInstance(op.key));
+        op.id = id;
+        op.inserted = inserted;
+        history.Record(thread, invoke, op);
+      } else {
+        op.kind = InternOp::kFind;
+        const uint64_t invoke = history.Invoke();
+        op.id = interner.Find(KeyInstance(op.key));
+        history.Record(thread, invoke, op);
+      }
+    }
+  });
+
+  std::vector<Event<InternOp>> events = history.Take();
+  ASSERT_GE(events.size(), 10000u) << "history too small to be meaningful";
+
+  // Global invariants first: every key maps to exactly one id, ids are
+  // dense in [0, size), exactly one Intern per key won the insert, and
+  // At(id) round-trips to the key's instance.
+  std::map<uint64_t, size_t> key_to_id;
+  std::map<uint64_t, size_t> insert_wins;
+  for (const auto& event : events) {
+    if (event.op.id == ConcurrentInterner::kNotFound) continue;
+    auto [it, fresh] = key_to_id.emplace(event.op.key, event.op.id);
+    EXPECT_EQ(it->second, event.op.id)
+        << "key " << event.op.key << " observed under two ids";
+    if (event.op.kind == InternOp::kIntern && event.op.inserted) {
+      ++insert_wins[event.op.key];
+    }
+  }
+  EXPECT_EQ(interner.size(), key_to_id.size());
+  std::vector<bool> id_seen(interner.size(), false);
+  for (const auto& [key, id] : key_to_id) {
+    ASSERT_LT(id, interner.size()) << "id not dense";
+    EXPECT_FALSE(id_seen[id]) << "id " << id << " assigned to two keys";
+    id_seen[id] = true;
+    EXPECT_EQ(interner.At(id), KeyInstance(key));
+    EXPECT_EQ(interner.Find(KeyInstance(key)), id);
+    EXPECT_EQ(insert_wins[key], 1u)
+        << "key " << key << " reported inserted=true " << insert_wins[key]
+        << " times";
+  }
+  EXPECT_GT(interner.grow_count(), 0u)
+      << "test never exercised the epoch-protected grow path";
+
+  // Per-key linearizability: the publication protocol must never let a
+  // Find miss after any thread's Intern has returned, nor hit before any
+  // Intern was invoked.
+  auto parts = PartitionBy(std::move(events),
+                           [](const InternOp& op) { return op.key; });
+  for (auto& [key, part] : parts) {
+    std::string error;
+    const bool linearizable = IsLinearizable<InternOp, bool>(
+        std::move(part), false, ApplyInternOp,
+        [](const bool& s) { return std::string(s ? "1" : "0"); }, &error);
+    EXPECT_TRUE(linearizable)
+        << "key " << key << ": " << error << " (seed " << seed << ")";
+  }
+
+  // Quiesced now: draining the collector here keeps retired stripe tables
+  // from accumulating across tests in this binary.
+  epoch::Collector::Instance().Collect();
+}
+
+TEST(ConcurrentInternerConcurrencyTest, TakeAllPreservesIdOrder) {
+  ConcurrentInterner interner(/*stripes=*/1);
+  constexpr uint64_t kKeys = 100;
+  std::vector<size_t> ids;
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    ids.push_back(interner.Intern(KeyInstance(k)).first);
+  }
+  std::vector<Instance> all = interner.TakeAll();
+  ASSERT_EQ(all.size(), kKeys);
+  for (uint64_t k = 0; k < kKeys; ++k) {
+    EXPECT_EQ(all[ids[k]], KeyInstance(k));
+  }
+  EXPECT_TRUE(interner.empty());
+}
+
+}  // namespace
+}  // namespace pfql

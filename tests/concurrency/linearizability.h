@@ -1,0 +1,143 @@
+// A small linearizability checker (Wing & Gong's algorithm) for the
+// concurrency suite. Tests record a concurrent history of completed
+// operations — each with a global invoke tick and response tick — and the
+// checker searches for a legal sequential order: a total order that (a)
+// respects real-time (if op A's response preceded op B's invoke, A comes
+// first) and (b) is accepted step-by-step by a sequential model of the
+// data structure.
+//
+// The search is exponential in the worst case, so callers partition the
+// history by key first (PartitionBy): operations on different keys only
+// interact through properties that are checked globally and directly
+// (id uniqueness/density for the interner, capacity for the cache), and
+// per-key windows of concurrency are bounded by the thread count, which
+// keeps the memoized search effectively linear.
+#ifndef PFQL_TESTS_CONCURRENCY_LINEARIZABILITY_H_
+#define PFQL_TESTS_CONCURRENCY_LINEARIZABILITY_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace pfql {
+namespace testing {
+
+/// One completed operation: `op` is the test's payload (what was called,
+/// with which arguments, and what it returned).
+template <typename Op>
+struct Event {
+  Op op;
+  uint64_t invoke = 0;
+  uint64_t response = 0;
+  size_t thread = 0;
+};
+
+/// Records a concurrent history without synchronization on the hot path:
+/// the global clock is one atomic, and each thread appends to its own
+/// pre-allocated lane.
+template <typename Op>
+class History {
+ public:
+  explicit History(size_t threads) : lanes_(threads) {}
+
+  /// Call immediately before the operation under test.
+  uint64_t Invoke() { return clock_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// Call immediately after the operation returns.
+  void Record(size_t thread, uint64_t invoke, Op op) {
+    const uint64_t response = clock_.fetch_add(1, std::memory_order_acq_rel);
+    lanes_[thread].push_back(
+        Event<Op>{std::move(op), invoke, response, thread});
+  }
+
+  /// All events, merged. Call after every worker has joined.
+  std::vector<Event<Op>> Take() {
+    std::vector<Event<Op>> all;
+    for (auto& lane : lanes_) {
+      all.insert(all.end(), lane.begin(), lane.end());
+      lane.clear();
+    }
+    return all;
+  }
+
+ private:
+  std::atomic<uint64_t> clock_{0};
+  std::vector<std::vector<Event<Op>>> lanes_;
+};
+
+/// Splits a history into per-key sub-histories (ticks stay global, so
+/// real-time order across the partitions is preserved within each).
+template <typename Op, typename KeyFn>
+std::map<uint64_t, std::vector<Event<Op>>> PartitionBy(
+    std::vector<Event<Op>> history, KeyFn key_of) {
+  std::map<uint64_t, std::vector<Event<Op>>> parts;
+  for (auto& event : history) {
+    parts[key_of(event.op)].push_back(std::move(event));
+  }
+  return parts;
+}
+
+/// Wing–Gong search. `apply` is the sequential specification: given a
+/// model state and a completed op, return the successor state if the op's
+/// recorded result is legal there, nullopt otherwise. `state_key` must
+/// injectively serialize a state (memoization). Returns true iff some
+/// linearization exists; on failure `*error` names a minimal stuck op.
+template <typename Op, typename State>
+bool IsLinearizable(
+    std::vector<Event<Op>> history, State initial,
+    const std::function<std::optional<State>(const State&, const Op&)>&
+        apply,
+    const std::function<std::string(const State&)>& state_key,
+    std::string* error) {
+  std::sort(history.begin(), history.end(),
+            [](const Event<Op>& a, const Event<Op>& b) {
+              return a.invoke < b.invoke;
+            });
+  const size_t n = history.size();
+  std::vector<char> taken(n, 0);
+  std::unordered_set<std::string> failed;  // memo of dead (taken, state)
+
+  std::function<bool(const State&, size_t)> dfs = [&](const State& state,
+                                                      size_t remaining) {
+    if (remaining == 0) return true;
+    std::string key(taken.begin(), taken.end());
+    key.push_back('|');
+    key += state_key(state);
+    if (failed.count(key) > 0) return false;
+    // An untaken op may linearize first iff no other untaken op completed
+    // before it began.
+    uint64_t min_response = UINT64_MAX;
+    for (size_t i = 0; i < n; ++i) {
+      if (!taken[i]) min_response = std::min(min_response, history[i].response);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (taken[i] || history[i].invoke > min_response) continue;
+      std::optional<State> next = apply(state, history[i].op);
+      if (!next.has_value()) continue;
+      taken[i] = 1;
+      if (dfs(*next, remaining - 1)) return true;
+      taken[i] = 0;
+    }
+    failed.insert(std::move(key));
+    return false;
+  };
+  if (dfs(initial, n)) return true;
+  if (error != nullptr) {
+    *error = "no linearization for history of " + std::to_string(n) +
+             " events (first invoke tick " +
+             (n > 0 ? std::to_string(history[0].invoke) : std::string("-")) +
+             ")";
+  }
+  return false;
+}
+
+}  // namespace testing
+}  // namespace pfql
+
+#endif  // PFQL_TESTS_CONCURRENCY_LINEARIZABILITY_H_

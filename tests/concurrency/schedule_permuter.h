@@ -1,0 +1,100 @@
+// Seeded thread-interleaving driver for the concurrency suite. Real
+// schedulers rarely produce the interleavings that break lock-free code;
+// SchedulePermuter manufactures them:
+//
+//   * every round starts with a barrier rendezvous, so all threads enter
+//     the contention window at the same instant instead of drifting apart;
+//   * inside the window each thread runs seeded jitter (spins / yields
+//     drawn from its own deterministic Rng stream) between operations,
+//     permuting the interleaving differently per round and per seed.
+//
+// Determinism caveat: the seed fixes each thread's operation sequence and
+// jitter exactly, but the OS still chooses the final interleaving — so a
+// seed is a schedule *family*, not one schedule. Replaying a failing seed
+// (PFQL_SCHEDULE_SEED=<n>) reproduces the same contention shape, which in
+// practice re-triggers the failure within a few rounds.
+#ifndef PFQL_TESTS_CONCURRENCY_SCHEDULE_PERMUTER_H_
+#define PFQL_TESTS_CONCURRENCY_SCHEDULE_PERMUTER_H_
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace pfql {
+namespace testing {
+
+/// The schedule seed for this process: PFQL_SCHEDULE_SEED when set (CI
+/// replays a failure by exporting it), else `fallback`. Always printed to
+/// stdout so a failing log names the seed to replay.
+inline uint64_t ScheduleSeed(uint64_t fallback) {
+  const char* env = std::getenv("PFQL_SCHEDULE_SEED");
+  const uint64_t seed =
+      env != nullptr ? std::strtoull(env, nullptr, 10) : fallback;
+  std::printf("[schedule] seed=%llu (replay: PFQL_SCHEDULE_SEED=%llu)\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed));
+  std::fflush(stdout);
+  return seed;
+}
+
+class SchedulePermuter {
+ public:
+  SchedulePermuter(uint64_t seed, size_t threads)
+      : seed_(seed), threads_(threads) {}
+
+  /// Seeded jitter inside a contention window: a randomized mix of
+  /// nothing, relaxed spins, and yields. Cheap enough to call between
+  /// every pair of operations.
+  static void Jitter(Rng* rng) {
+    const uint64_t kind = rng->NextIndex(4);
+    if (kind == 0) return;
+    if (kind == 1) {
+      std::this_thread::yield();
+      return;
+    }
+    const uint64_t spins = rng->NextIndex(64);
+    for (uint64_t i = 0; i < spins; ++i) {
+      std::atomic_signal_fence(std::memory_order_seq_cst);
+    }
+  }
+
+  /// Runs `body(thread_id, rng)` once per thread per round. All threads
+  /// rendezvous on a barrier before each round; each thread's Rng stream
+  /// is forked deterministically from the permuter seed.
+  void Run(size_t rounds, const std::function<void(size_t, Rng&)>& body) {
+    std::barrier<> gate(static_cast<std::ptrdiff_t>(threads_));
+    std::vector<std::thread> pool;
+    pool.reserve(threads_);
+    Rng root(seed_);
+    std::vector<Rng> rngs;
+    rngs.reserve(threads_);
+    for (size_t t = 0; t < threads_; ++t) rngs.push_back(root.Fork());
+    for (size_t t = 0; t < threads_; ++t) {
+      pool.emplace_back([&, t] {
+        Rng& rng = rngs[t];
+        for (size_t round = 0; round < rounds; ++round) {
+          gate.arrive_and_wait();
+          Jitter(&rng);
+          body(t, rng);
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+ private:
+  const uint64_t seed_;
+  const size_t threads_;
+};
+
+}  // namespace testing
+}  // namespace pfql
+
+#endif  // PFQL_TESTS_CONCURRENCY_SCHEDULE_PERMUTER_H_
